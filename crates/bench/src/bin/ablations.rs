@@ -1,0 +1,72 @@
+//! Design-choice ablations called out in DESIGN.md (and the paper's §7
+//! future-work list): confidence threshold, IR-detector scope, delay-buffer
+//! capacity, and operating mode, swept on the removal-heavy m88ksim
+//! analogue.
+
+use slipstream_bench::MAX_CYCLES;
+use slipstream_core::{RemovalPolicy, SlipstreamConfig, SlipstreamProcessor};
+use slipstream_workloads::benchmark;
+
+fn run(cfg: SlipstreamConfig) -> slipstream_core::SlipstreamStats {
+    let w = benchmark("m88ksim", 0.3).expect("known benchmark");
+    let mut p = SlipstreamProcessor::new(cfg, &w.program);
+    assert!(p.run(MAX_CYCLES));
+    p.stats()
+}
+
+fn main() {
+    println!("Ablations on the m88ksim analogue (CMP(2x64x4) base config).\n");
+
+    println!("-- confidence threshold (paper: 32):");
+    for t in [1u32, 4, 16, 32, 128, 512] {
+        let mut cfg = SlipstreamConfig::cmp_2x64x4();
+        cfg.confidence_threshold = t;
+        let s = run(cfg);
+        println!(
+            "  threshold {t:>4}: removal {:>5.1}%  IPC {:.2}  IR-misp/1k {:.3}  avg penalty {:>5.1}",
+            100.0 * s.removal_fraction,
+            s.ipc,
+            s.ir_misp_per_kilo,
+            s.avg_ir_penalty
+        );
+    }
+
+    println!("\n-- IR-detector scope in traces (paper: 8):");
+    for scope in [1usize, 2, 4, 8, 16] {
+        let mut cfg = SlipstreamConfig::cmp_2x64x4();
+        cfg.detector_scope = scope;
+        let s = run(cfg);
+        println!(
+            "  scope {scope:>2}: removal {:>5.1}%  IPC {:.2}",
+            100.0 * s.removal_fraction,
+            s.ipc
+        );
+    }
+
+    println!("\n-- delay buffer data capacity (paper: 256):");
+    for cap in [32usize, 64, 128, 256, 1024] {
+        let mut cfg = SlipstreamConfig::cmp_2x64x4();
+        cfg.delay_data_entries = cap;
+        let s = run(cfg);
+        println!(
+            "  capacity {cap:>4}: IPC {:.2}  (A-stream retire throttling changes the slack)",
+            s.ipc
+        );
+    }
+
+    println!("\n-- operating modes (conclusion/§7):");
+    for (label, policy) in [
+        ("slipstream (all triggers)", RemovalPolicy::all()),
+        ("slipstream (branches only)", RemovalPolicy::branches_only()),
+        ("AR-SMT (full redundancy)", RemovalPolicy::none()),
+    ] {
+        let mut cfg = SlipstreamConfig::cmp_2x64x4();
+        cfg.removal = policy;
+        let s = run(cfg);
+        println!(
+            "  {label:<28} removal {:>5.1}%  IPC {:.2}",
+            100.0 * s.removal_fraction,
+            s.ipc
+        );
+    }
+}

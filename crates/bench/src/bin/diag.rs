@@ -1,0 +1,69 @@
+//! Developer diagnostics: front-end and removal behaviour per benchmark.
+
+use slipstream_bench::MAX_CYCLES;
+use slipstream_core::{SlipstreamConfig, SlipstreamProcessor};
+use slipstream_workloads::benchmark;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let only: Option<String> = std::env::var("SLIP_DIAG_ONLY").ok();
+    for name in slipstream_workloads::BENCHMARK_NAMES {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let w = benchmark(name, scale).unwrap();
+        let mut p = SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &w.program);
+        assert!(p.run(MAX_CYCLES), "{name} did not finish");
+        let s = p.stats();
+        let fe = s.front_end;
+        println!(
+            "{name:<9} removal={:>5.1}%  traces: pred={} fb={} correct={} committed={} reduced={}  \
+             a_bm/1k={:.1} irm={} hints={}",
+            100.0 * s.removal_fraction,
+            fe.traces_predicted,
+            fe.traces_fallback,
+            fe.traces_correct,
+            fe.traces_committed,
+            fe.traces_reduced,
+            s.branch_misp_per_kilo,
+            s.ir_mispredictions,
+            s.value_hints,
+        );
+        if std::env::args().any(|a| a == "--rstats") {
+            let r = s.r_core;
+            let a = s.a_core;
+            println!(
+                "    R: cycles={} retired={} ipc={:.2} fetch_stall={} rob_full={} dmiss={} bm={}",
+                r.cycles, r.retired, r.ipc(), r.fetch_stall_cycles, r.rob_full_cycles,
+                r.dcache_misses, r.branch_mispredicts
+            );
+            println!(
+                "    A: cycles={} retired={} ipc={:.2} fetch_stall={} rob_full={} bm={}",
+                a.cycles, a.retired, a.ipc(), a.fetch_stall_cycles, a.rob_full_cycles,
+                a.branch_mispredicts
+            );
+        }
+        if std::env::args().any(|a| a == "--misps") {
+            for (kind, cycle) in p.misp_log.iter().take(20) {
+                println!("    misp @{cycle}: {kind:?}");
+            }
+        }
+        if std::env::args().any(|a| a == "--seg") {
+            let mut by_reason: Vec<String> = s
+                .skipped_by_reason
+                .iter()
+                .map(|(r, n)| format!("{r}: {n}"))
+                .collect();
+            by_reason.sort();
+            println!("    skipped by reason: {}", by_reason.join(" | "));
+            let mut rows: Vec<_> = p.commit_histogram().iter().collect();
+            rows.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+            for ((pc, len), n) in rows.iter().take(8) {
+                println!("    trace ({pc:#x}, len {len}) x{n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Deep diagnostics: run a benchmark functionally, feed the IR-detector,
+//! and summarize per-start-PC trace/vec stability.
+
+use std::collections::HashMap;
+
+use slipstream_core::{IrDetector, RemovalPolicy};
+use slipstream_predict::TraceBuilder;
+use slipstream_isa::ArchState;
+use slipstream_workloads::benchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "m88ksim".into());
+    let w = benchmark(&name, 0.1).unwrap();
+    let mut st = ArchState::new(&w.program);
+    let trace = st.run(&w.program, 50_000_000).unwrap();
+    let mut det = IrDetector::new(RemovalPolicy::all(), 8);
+    let mut tb = TraceBuilder::new();
+    // (start_pc) -> map of (id-hash, vec) -> count
+    let mut stats: HashMap<u64, HashMap<(u64, u32), u64>> = HashMap::new();
+    let mut removable = 0u64;
+    let mut total = 0u64;
+    for rec in &trace {
+        let ended = tb.push(rec.pc, &rec.instr, rec.taken).is_some();
+        det.push(rec, ended);
+        for out in det.drain() {
+            total += out.id.len as u64;
+            removable += out.info.ir_vec.count_ones() as u64;
+            *stats
+                .entry(out.id.start_pc)
+                .or_default()
+                .entry((out.id.hash64(), out.info.ir_vec))
+                .or_insert(0) += 1;
+        }
+    }
+    println!(
+        "{name}: detector says {:.1}% removable ({} of {})",
+        100.0 * removable as f64 / total as f64,
+        removable,
+        total
+    );
+    let mut rows: Vec<_> = stats.iter().collect();
+    rows.sort_by_key(|(pc, _)| **pc);
+    for (pc, variants) in rows {
+        let total: u64 = variants.values().sum();
+        let mut vs: Vec<_> = variants.iter().collect();
+        vs.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+        let top: Vec<String> = vs
+            .iter()
+            .take(3)
+            .map(|((_, vec), n)| format!("vec={vec:08x} x{n}"))
+            .collect();
+        println!(
+            "  start {pc:#x}: {} occurrences, {} variants; top: {}",
+            total,
+            variants.len(),
+            top.join(", ")
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Isolated detector run over the m88ksim kernel with fixed segmentation,
+//! printing each evicted trace's vec and reasons.
+
+use slipstream_core::{IrDetector, RemovalPolicy};
+use slipstream_isa::{assemble, ArchState};
+
+fn main() {
+    let src = r#"
+        li r1, 40
+        li r3, 0xa0000
+        li r24, 42
+        li r25, 1
+        st r24, 0(r3)
+        st r25, 8(r3)
+        st r24, 16(r3)
+        st r25, 24(r3)
+    step:
+        li r10, 42
+        st r10, 0(r3)
+        li r11, 1
+        st r11, 8(r3)
+        li r12, 42
+        st r12, 16(r3)
+        li r13, 1
+        st r13, 24(r3)
+        ld r14, 32(r3)
+        addi r14, r14, 1
+        st r14, 32(r3)
+        andi r17, r14, 7
+        slli r17, r17, 3
+        add r18, r3, r17
+        xor r19, r14, r24
+        st r19, 64(r18)
+        add r20, r20, r19
+        andi r15, r14, 511
+        bne r15, r0, no_event
+        addi r16, r16, 1
+    no_event:
+        addi r1, r1, -1
+        bne r1, r0, step
+        halt
+    "#;
+    let p = assemble(src).unwrap();
+    let mut st = ArchState::new(&p);
+    let trace = st.run(&p, 1_000_000).unwrap();
+    let mut det = IrDetector::new(RemovalPolicy::all(), 8);
+    // Mimic the real system's segmentation: end traces at the event bne
+    // (taken) and at the loop bne.
+    for rec in &trace {
+        let ends = rec.taken == Some(true) || rec.is_halt();
+        det.push(rec, ends);
+        for out in det.drain() {
+            if out.id.start_pc == 0x1020 {
+                let mut bits = Vec::new();
+                for i in 0..out.id.len as usize {
+                    if out.info.removes(i) {
+                        bits.push(format!("{}:{}", i, out.info.reasons[i]));
+                    }
+                }
+                println!("trace@{:#x} len {} vec {:08x} [{}]",
+                    out.id.start_pc, out.id.len, out.info.ir_vec, bits.join(" "));
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Section 3 / Figure 5: transient-fault injection campaigns.
+//!
+//! Injects random single-bit faults into each stream of the slipstream
+//! processor and classifies every run against the functional oracle,
+//! demonstrating the paper's three scenarios: detection + transparent
+//! recovery for redundantly-executed instructions, architectural masking
+//! for dead values, and silent corruption for faults landing in regions
+//! the A-stream skipped (the coverage hole of partial redundancy).
+
+use slipstream_bench::{fault_campaign, print_campaign};
+use slipstream_core::FaultTarget;
+
+fn main() {
+    println!("Transient-fault campaigns (single bit flip per run).");
+    for bench in ["m88ksim", "compress"] {
+        for (target, label) in [
+            (FaultTarget::AStream, "A-stream"),
+            (FaultTarget::RStream, "R-stream"),
+        ] {
+            let c = fault_campaign(bench, 0.05, target, 40, 0xfa17);
+            print_campaign(&format!("{bench:<9} {label}"), &c);
+        }
+    }
+    println!();
+    println!("Reading: A-stream faults are always caught (every executed A-stream");
+    println!("value is checked by the R-stream). R-stream faults escape only when");
+    println!("they land on instructions the A-stream skipped — scenario 2 — which");
+    println!("is why m88ksim (heavy removal) shows silent corruption where");
+    println!("compress (almost no removal) does not.");
+}

@@ -1,0 +1,9 @@
+//! Figure 6: % IPC improvement of the CMP(2x64x4) slipstream processor
+//! over the SS(64x4) baseline, per benchmark.
+
+use slipstream_bench::{evaluate_suite, print_fig6};
+
+fn main() {
+    let rows = evaluate_suite(1.0);
+    print_fig6(&rows);
+}

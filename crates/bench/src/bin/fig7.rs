@@ -1,0 +1,8 @@
+//! Figure 7: % IPC improvement of SS(128x8) over SS(64x4), per benchmark.
+
+use slipstream_bench::{evaluate_suite, print_fig7};
+
+fn main() {
+    let rows = evaluate_suite(1.0);
+    print_fig7(&rows);
+}

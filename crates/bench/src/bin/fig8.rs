@@ -1,0 +1,9 @@
+//! Figure 8: breakdown of removed A-stream instructions by reason, under
+//! the full removal policy (top) and branches-only (bottom).
+
+use slipstream_bench::{evaluate_suite, print_fig8};
+
+fn main() {
+    let rows = evaluate_suite(1.0);
+    print_fig8(&rows);
+}

@@ -1,0 +1,39 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! run.
+//!
+//! ```text
+//! cargo run --release -p slipstream-bench --bin paper_tables [-- --scale 1.0]
+//! ```
+
+use slipstream_bench::{
+    evaluate_suite, fault_campaign, print_campaign, print_fig6, print_fig7, print_fig8,
+    print_table1, print_table3,
+};
+use slipstream_core::FaultTarget;
+
+fn main() {
+    let scale = scale_arg();
+    eprintln!("running all models on all benchmarks (scale {scale}) ...");
+    let rows = evaluate_suite(scale);
+    print_table1(&rows);
+    print_fig6(&rows);
+    print_fig7(&rows);
+    print_fig8(&rows);
+    print_table3(&rows);
+
+    eprintln!("running fault-injection campaigns ...");
+    println!("Section 3 / Figure 5: transient-fault scenarios (m88ksim analogue).");
+    let a = fault_campaign("m88ksim", (scale * 0.25).max(0.02), FaultTarget::AStream, 24, 7);
+    print_campaign("faults in A-stream", &a);
+    let r = fault_campaign("m88ksim", (scale * 0.25).max(0.02), FaultTarget::RStream, 24, 8);
+    print_campaign("faults in R-stream", &r);
+}
+
+fn scale_arg() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}

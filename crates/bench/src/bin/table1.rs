@@ -1,0 +1,8 @@
+//! Table 1: benchmark dynamic instruction counts.
+
+use slipstream_bench::{evaluate_suite, print_table1};
+
+fn main() {
+    let rows = evaluate_suite(1.0);
+    print_table1(&rows);
+}

@@ -1,0 +1,10 @@
+//! Table 3: misprediction measurements (IPC, branch mispredictions per
+//! 1000 instructions for SS(64x4) and the slipstream CMP,
+//! IR-mispredictions per 1000, and the average IR-misprediction penalty).
+
+use slipstream_bench::{evaluate_suite, print_table3};
+
+fn main() {
+    let rows = evaluate_suite(1.0);
+    print_table3(&rows);
+}

@@ -1,0 +1,295 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5) plus the §3 fault-tolerance scenarios.
+//!
+//! The binaries (`paper_tables`, `table1`, `table3`, `fig6`, `fig7`,
+//! `fig8`, `fault_tolerance`) print the same rows/series the paper
+//! reports; the Criterion benches in `benches/` time the simulators
+//! themselves and re-run reduced-scale versions of each experiment so
+//! `cargo bench` regenerates everything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use slipstream_core::{
+    golden_state, run_fault_experiment, run_superscalar, BaselineStats, FaultOutcome,
+    FaultTarget, RemovalPolicy, SlipstreamConfig, SlipstreamProcessor, SlipstreamStats,
+};
+use slipstream_cpu::{CoreConfig, FaultSpec};
+use slipstream_isa::ArchState;
+use slipstream_workloads::{benchmark, suite, Workload};
+
+/// Cycle budget per run — far above anything a healthy run needs.
+pub const MAX_CYCLES: u64 = 50_000_000;
+
+/// Everything measured for one benchmark across the three processor
+/// models (plus the branches-only ablation).
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Dynamic instruction count (R-stream retired).
+    pub dynamic: u64,
+    /// SS(64x4) baseline.
+    pub ss64: BaselineStats,
+    /// SS(128x8) baseline.
+    pub ss128: BaselineStats,
+    /// CMP(2x64x4) slipstream, full removal policy.
+    pub slip: SlipstreamStats,
+    /// CMP(2x64x4) slipstream, branches-only removal (Figure 8 bottom).
+    pub slip_br: SlipstreamStats,
+}
+
+impl BenchRow {
+    /// Figure 6 metric: % IPC improvement of slipstream over SS(64x4).
+    pub fn fig6_improvement(&self) -> f64 {
+        100.0 * (self.slip.ipc / self.ss64.ipc() - 1.0)
+    }
+
+    /// Figure 7 metric: % IPC improvement of SS(128x8) over SS(64x4).
+    pub fn fig7_improvement(&self) -> f64 {
+        100.0 * (self.ss128.ipc() / self.ss64.ipc() - 1.0)
+    }
+}
+
+/// Runs one benchmark through all processor models.
+pub fn evaluate(name: &str, scale: f64) -> BenchRow {
+    let w: Workload = benchmark(name, scale).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    evaluate_workload(&w)
+}
+
+/// Runs an arbitrary workload through all processor models.
+pub fn evaluate_workload(w: &Workload) -> BenchRow {
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+
+    let ss64 = run_superscalar(CoreConfig::ss_64x4(), cfg.trace_pred, &w.program, MAX_CYCLES);
+    assert!(ss64.halted, "{}: SS(64x4) did not complete", w.name);
+    let ss128 = run_superscalar(CoreConfig::ss_128x8(), cfg.trace_pred, &w.program, MAX_CYCLES);
+    assert!(ss128.halted, "{}: SS(128x8) did not complete", w.name);
+
+    let mut slip_proc = SlipstreamProcessor::new(cfg.clone(), &w.program);
+    assert!(slip_proc.run(MAX_CYCLES), "{}: slipstream did not complete", w.name);
+    let slip = slip_proc.stats();
+
+    let mut br_cfg = cfg;
+    br_cfg.removal = RemovalPolicy::branches_only();
+    let mut br_proc = SlipstreamProcessor::new(br_cfg, &w.program);
+    assert!(br_proc.run(MAX_CYCLES), "{}: branches-only run did not complete", w.name);
+    let slip_br = br_proc.stats();
+
+    BenchRow { name: w.name, dynamic: slip.r_retired, ss64, ss128, slip, slip_br }
+}
+
+/// Runs the full eight-benchmark suite.
+pub fn evaluate_suite(scale: f64) -> Vec<BenchRow> {
+    suite(scale).iter().map(evaluate_workload).collect()
+}
+
+// ---- printers (one per paper table/figure) -------------------------------
+
+/// Table 1: benchmarks and dynamic instruction counts.
+pub fn print_table1(rows: &[BenchRow]) {
+    println!("Table 1: Benchmarks (synthetic SPEC95int analogues).");
+    println!("{:<10} {:>14}", "benchmark", "instr. count");
+    for r in rows {
+        println!("{:<10} {:>14}", r.name, r.dynamic);
+    }
+    println!();
+}
+
+/// Figure 6: % IPC improvement of CMP(2x64x4) slipstream over SS(64x4).
+pub fn print_fig6(rows: &[BenchRow]) {
+    println!("Figure 6: Performance of CMP(2x64x4) (slipstream) vs SS(64x4).");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14} {:>10}",
+        "benchmark", "SS64 IPC", "slip IPC", "improvement", "removal"
+    );
+    let mut sum = 0.0;
+    for r in rows {
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>13.1}% {:>9.1}%",
+            r.name,
+            r.ss64.ipc(),
+            r.slip.ipc,
+            r.fig6_improvement(),
+            100.0 * r.slip.removal_fraction,
+        );
+        sum += r.fig6_improvement();
+    }
+    println!("{:<10} {:>36.1}%", "average", sum / rows.len() as f64);
+    println!();
+}
+
+/// Figure 7: % IPC improvement of SS(128x8) over SS(64x4).
+pub fn print_fig7(rows: &[BenchRow]) {
+    println!("Figure 7: Performance of SS(128x8) vs SS(64x4).");
+    println!("{:<10} {:>10} {:>10} {:>14}", "benchmark", "SS64 IPC", "SS128 IPC", "improvement");
+    let mut sum = 0.0;
+    for r in rows {
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>13.1}%",
+            r.name,
+            r.ss64.ipc(),
+            r.ss128.ipc(),
+            r.fig7_improvement()
+        );
+        sum += r.fig7_improvement();
+    }
+    println!("{:<10} {:>36.1}%", "average", sum / rows.len() as f64);
+    println!();
+}
+
+/// Breakdown used by Figure 8: removal fraction per category, as a
+/// percentage of all dynamic instructions.
+pub fn removal_breakdown(stats: &SlipstreamStats) -> Vec<(String, f64)> {
+    let mut cats: Vec<(String, u64)> = Vec::new();
+    for (reason, n) in &stats.skipped_by_reason {
+        let label = reason.category().to_string();
+        match cats.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, c)) => *c += n,
+            None => cats.push((label, *n)),
+        }
+    }
+    cats.sort_by(|a, b| b.1.cmp(&a.1));
+    cats.into_iter()
+        .map(|(l, n)| (l, 100.0 * n as f64 / stats.r_retired.max(1) as f64))
+        .collect()
+}
+
+/// Figure 8: breakdown of removed A-stream instructions (top: all
+/// triggers; bottom: branches only).
+pub fn print_fig8(rows: &[BenchRow]) {
+    println!("Figure 8 (top): removed A-stream instructions, all triggers.");
+    println!("{:<10} {:>8}  breakdown", "benchmark", "total");
+    for r in rows {
+        let parts: Vec<String> = removal_breakdown(&r.slip)
+            .iter()
+            .map(|(l, p)| format!("{l}={p:.1}%"))
+            .collect();
+        println!(
+            "{:<10} {:>7.1}%  {}",
+            r.name,
+            100.0 * r.slip.removal_fraction,
+            parts.join("  ")
+        );
+    }
+    println!();
+    println!("Figure 8 (bottom): only branches (and their chains) removed.");
+    println!("{:<10} {:>8}  breakdown", "benchmark", "total");
+    for r in rows {
+        let parts: Vec<String> = removal_breakdown(&r.slip_br)
+            .iter()
+            .map(|(l, p)| format!("{l}={p:.1}%"))
+            .collect();
+        println!(
+            "{:<10} {:>7.1}%  {}",
+            r.name,
+            100.0 * r.slip_br.removal_fraction,
+            parts.join("  ")
+        );
+    }
+    println!();
+}
+
+/// Table 3: misprediction measurements.
+pub fn print_table3(rows: &[BenchRow]) {
+    println!("Table 3: Misprediction measurements.");
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "SS64 IPC", "SS64 bm/1k", "CMP bm/1k", "IRmisp/1k", "avg penalty"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>9.2} {:>12.2} {:>12.2} {:>12.3} {:>12.1}",
+            r.name,
+            r.ss64.ipc(),
+            r.ss64.core.branch_mispredicts_per_kilo(),
+            r.slip.branch_misp_per_kilo,
+            r.slip.ir_misp_per_kilo,
+            r.slip.avg_ir_penalty,
+        );
+    }
+    println!();
+}
+
+// ---- fault-tolerance campaign (paper §3 / Figure 5) -----------------------
+
+/// Aggregate result of a fault-injection campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FaultCampaign {
+    /// Faults that fired and were detected, with correct final output.
+    pub detected_recovered: u64,
+    /// Faults with correct final output and no detection (masked), plus
+    /// faults that never fired.
+    pub masked: u64,
+    /// Faults that corrupted the final output.
+    pub silent: u64,
+    /// Runs that failed to complete.
+    pub hangs: u64,
+}
+
+impl FaultCampaign {
+    /// Total injections.
+    pub fn total(&self) -> u64 {
+        self.detected_recovered + self.masked + self.silent + self.hangs
+    }
+}
+
+/// Injects `n` random single-bit faults into `target` while running
+/// `bench_name` at `scale`, classifying each run.
+pub fn fault_campaign(
+    bench_name: &str,
+    scale: f64,
+    target: FaultTarget,
+    n: u64,
+    seed: u64,
+) -> FaultCampaign {
+    let w = benchmark(bench_name, scale).expect("known benchmark");
+    let golden: ArchState = golden_state(&w.program, 200_000_000);
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let mut clean = SlipstreamProcessor::new(cfg.clone(), &w.program);
+    assert!(clean.run(MAX_CYCLES));
+    let base_detections = clean.stats().ir_mispredictions;
+    let dynamic = clean.stats().r_retired;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut campaign = FaultCampaign::default();
+    for _ in 0..n {
+        let fault = FaultSpec {
+            seq: rng.gen_range(dynamic / 10..dynamic.saturating_sub(10)),
+            bit: rng.gen_range(0..16),
+        };
+        let report = run_fault_experiment(
+            cfg.clone(),
+            &w.program,
+            target,
+            fault,
+            MAX_CYCLES,
+            &golden,
+            base_detections,
+        );
+        match report.outcome {
+            FaultOutcome::DetectedRecovered => campaign.detected_recovered += 1,
+            FaultOutcome::Masked => campaign.masked += 1,
+            FaultOutcome::SilentCorruption => campaign.silent += 1,
+            FaultOutcome::Hang => campaign.hangs += 1,
+        }
+    }
+    campaign
+}
+
+/// Pretty-prints a campaign.
+pub fn print_campaign(label: &str, c: &FaultCampaign) {
+    let pct = |n: u64| 100.0 * n as f64 / c.total().max(1) as f64;
+    println!(
+        "{label}: {} injections — detected+recovered {:.0}%, masked {:.0}%, silent {:.0}%, hangs {}",
+        c.total(),
+        pct(c.detected_recovered),
+        pct(c.masked),
+        pct(c.silent),
+        c.hangs
+    );
+}
+

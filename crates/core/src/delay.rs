@@ -1,0 +1,264 @@
+//! The delay buffer (paper §2.2): a FIFO carrying the A-stream's control
+//! and data flow outcomes to the R-stream.
+//!
+//! The paper describes the contents as a control-flow side (a sequence of
+//! `{trace-id, ir-vec}` pairs) and a data-flow side (one entry per
+//! *executed* A-stream instruction, holding operand values and load/store
+//! addresses, plus enough information to know which instructions were
+//! skipped). We carry the same information at per-instruction granularity:
+//! every dynamic instruction on the A-stream's path produces one
+//! [`DelayEntry`] — executed entries carry values, skipped entries are
+//! data-less markers — and trace boundaries travel as flags. Capacity is
+//! enforced exactly as the paper sizes it: 256 data (executed) entries and
+//! 128 control (trace) entries; a full buffer back-pressures A-stream
+//! retirement.
+
+use std::collections::VecDeque;
+
+use slipstream_isa::Instr;
+use slipstream_predict::TraceId;
+
+/// One slot of the A-stream's path, communicated to the R-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayEntry {
+    /// Instruction address.
+    pub pc: u64,
+    /// The instruction (resolved by the A-stream front end; SSIR has no
+    /// self-modifying code, so this is identical to what the R-stream
+    /// would fetch at `pc`).
+    pub instr: Instr,
+    /// PC of the next slot on the A-stream's path.
+    pub next_pc: u64,
+    /// Whether the A-stream skipped this instruction (no data available).
+    pub skipped: bool,
+    /// This slot ends its trace (boundary flag used by the R-side
+    /// reconstruction and the IR-detector).
+    pub ends_trace: bool,
+    /// Executed conditional branches: the A-stream's outcome.
+    pub taken: Option<bool>,
+    /// Executed: first source operand value.
+    pub src1: Option<u64>,
+    /// Executed: second source operand value.
+    pub src2: Option<u64>,
+    /// Executed: result (register write or load) value.
+    pub result: Option<u64>,
+    /// Executed loads/stores: effective address.
+    pub addr: Option<u64>,
+    /// Executed stores: value stored.
+    pub store_value: Option<u64>,
+}
+
+impl DelayEntry {
+    /// A data-less marker for an instruction the A-stream skipped.
+    pub fn skipped(pc: u64, instr: Instr, next_pc: u64, ends_trace: bool) -> DelayEntry {
+        DelayEntry {
+            pc,
+            instr,
+            next_pc,
+            skipped: true,
+            ends_trace,
+            taken: None,
+            src1: None,
+            src2: None,
+            result: None,
+            addr: None,
+            store_value: None,
+        }
+    }
+}
+
+/// A `{trace-id, ir-vec}` pair recording what the A-stream actually
+/// retired for one trace: consumed by the IR-misprediction checker, which
+/// compares the *used* ir-vec against the IR-detector's *computed* one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCommit {
+    /// The trace as actually retired by the A-stream (predicted outcomes
+    /// for skipped branches, computed outcomes for executed ones).
+    pub id: TraceId,
+    /// Bit `i` set = the A-stream skipped slot `i`.
+    pub used_vec: u32,
+}
+
+/// The FIFO connecting the two streams.
+#[derive(Debug, Default)]
+pub struct DelayBuffer {
+    entries: VecDeque<DelayEntry>,
+    commits: VecDeque<TraceCommit>,
+    data_cap: usize,
+    control_cap: usize,
+    /// Executed entries currently buffered (data-side occupancy).
+    data_count: usize,
+    /// Trace boundaries currently buffered (control-side occupancy).
+    control_count: usize,
+}
+
+impl DelayBuffer {
+    /// Creates a buffer with the paper's capacities (data entries = 256,
+    /// control pairs = 128 by default).
+    pub fn new(data_cap: usize, control_cap: usize) -> DelayBuffer {
+        DelayBuffer {
+            entries: VecDeque::new(),
+            commits: VecDeque::new(),
+            data_cap,
+            control_cap,
+            data_count: 0,
+            control_count: 0,
+        }
+    }
+
+    /// Free data-side slots: how many more *executed* instructions the
+    /// A-stream may retire before stalling.
+    pub fn free_data(&self) -> usize {
+        self.data_cap.saturating_sub(self.data_count)
+    }
+
+    /// Whether the control side (trace pairs) is full.
+    pub fn control_full(&self) -> bool {
+        self.control_count >= self.control_cap
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends one entry (capacity is the *caller's* responsibility — the
+    /// A-stream driver gates retirement on [`DelayBuffer::free_data`] /
+    /// [`DelayBuffer::control_full`], matching how the hardware
+    /// back-pressures retirement rather than dropping data).
+    pub fn push(&mut self, e: DelayEntry) {
+        if !e.skipped {
+            self.data_count += 1;
+        }
+        if e.ends_trace {
+            self.control_count += 1;
+        }
+        self.entries.push_back(e);
+    }
+
+    /// Records a completed-trace commit (control-flow side bookkeeping for
+    /// the IR-misprediction checker).
+    pub fn push_commit(&mut self, c: TraceCommit) {
+        self.commits.push_back(c);
+    }
+
+    /// Next entry for the R-stream, if any.
+    pub fn pop(&mut self) -> Option<DelayEntry> {
+        let e = self.entries.pop_front()?;
+        if !e.skipped {
+            self.data_count -= 1;
+        }
+        if e.ends_trace {
+            self.control_count -= 1;
+        }
+        Some(e)
+    }
+
+    /// Oldest unconsumed trace commit.
+    pub fn pop_commit(&mut self) -> Option<TraceCommit> {
+        self.commits.pop_front()
+    }
+
+    /// Peeks the oldest unconsumed trace commit.
+    pub fn peek_commit(&self) -> Option<&TraceCommit> {
+        self.commits.front()
+    }
+
+    /// Discards everything (IR-misprediction recovery flushes the buffer).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.commits.clear();
+        self.data_count = 0;
+        self.control_count = 0;
+    }
+
+    /// All pending commits, drained (used at recovery to penalize applied
+    /// removals that were never verified).
+    pub fn drain_commits(&mut self) -> Vec<TraceCommit> {
+        self.commits.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec_entry(pc: u64, ends: bool) -> DelayEntry {
+        DelayEntry {
+            pc,
+            instr: Instr::Nop,
+            next_pc: pc + 4,
+            skipped: false,
+            ends_trace: ends,
+            taken: None,
+            src1: Some(1),
+            src2: None,
+            result: Some(2),
+            addr: None,
+            store_value: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut db = DelayBuffer::new(4, 4);
+        db.push(exec_entry(0x1000, false));
+        db.push(DelayEntry::skipped(0x1004, Instr::Nop, 0x1008, false));
+        db.push(exec_entry(0x1008, true));
+        assert_eq!(db.pop().unwrap().pc, 0x1000);
+        assert_eq!(db.pop().unwrap().pc, 0x1004);
+        assert_eq!(db.pop().unwrap().pc, 0x1008);
+        assert!(db.pop().is_none());
+    }
+
+    #[test]
+    fn data_capacity_counts_only_executed_entries() {
+        let mut db = DelayBuffer::new(2, 8);
+        assert_eq!(db.free_data(), 2);
+        db.push(exec_entry(0, false));
+        db.push(DelayEntry::skipped(4, Instr::Nop, 8, false));
+        assert_eq!(db.free_data(), 1, "skip markers are control-only");
+        db.push(exec_entry(8, false));
+        assert_eq!(db.free_data(), 0);
+        db.pop();
+        assert_eq!(db.free_data(), 1);
+    }
+
+    #[test]
+    fn control_capacity_counts_trace_boundaries() {
+        let mut db = DelayBuffer::new(100, 2);
+        db.push(exec_entry(0, true));
+        assert!(!db.control_full());
+        db.push(exec_entry(4, true));
+        assert!(db.control_full());
+        db.pop();
+        assert!(!db.control_full());
+    }
+
+    #[test]
+    fn commits_flow_independently() {
+        let mut db = DelayBuffer::new(4, 4);
+        let id = TraceId { start_pc: 0x1000, outcomes: 0, branch_count: 0, len: 3 };
+        db.push_commit(TraceCommit { id, used_vec: 0b010 });
+        assert_eq!(db.peek_commit().unwrap().used_vec, 0b010);
+        assert_eq!(db.pop_commit().unwrap().id, id);
+        assert!(db.pop_commit().is_none());
+    }
+
+    #[test]
+    fn clear_resets_occupancy() {
+        let mut db = DelayBuffer::new(1, 1);
+        db.push(exec_entry(0, true));
+        assert_eq!(db.free_data(), 0);
+        assert!(db.control_full());
+        db.clear();
+        assert_eq!(db.free_data(), 1);
+        assert!(!db.control_full());
+        assert!(db.is_empty());
+    }
+}

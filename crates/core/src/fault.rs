@@ -1,0 +1,119 @@
+//! Transient-fault experiments (paper §3, Figure 5).
+//!
+//! A single transient fault is injected as a bit flip in the result of one
+//! dynamic instruction in either stream, and the run's outcome is
+//! classified against the functional oracle:
+//!
+//! - **Scenario 1** (fault in a redundantly-executed instruction): the
+//!   R-stream's comparison detects it as an "IR-misprediction" and recovery
+//!   repairs the affected context → correct final output.
+//! - **Scenario 2** (fault in an R-stream instruction the A-stream
+//!   skipped): there is nothing to compare against → the corruption retires
+//!   silently.
+//! - **Scenario 3** (fault after a divergence point): recovery flushes the
+//!   faulty instruction before it does damage.
+
+use slipstream_cpu::FaultSpec;
+use slipstream_isa::{ArchState, Program};
+
+use crate::config::SlipstreamConfig;
+use crate::slipstream::SlipstreamProcessor;
+
+/// Which stream's core takes the bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The leading, reduced stream.
+    AStream,
+    /// The trailing, checking stream.
+    RStream,
+}
+
+/// Classification of a fault-injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Final architectural output matches the oracle and at least one
+    /// divergence was detected along the way: detected and recovered.
+    DetectedRecovered,
+    /// Final output matches the oracle without any detection event — the
+    /// flipped bit was architecturally dead (or the fault never fired).
+    Masked,
+    /// Final output differs from the oracle: the fault escaped the
+    /// redundancy (e.g. scenario 2) — silent data corruption.
+    SilentCorruption,
+    /// The run did not complete within its cycle budget.
+    Hang,
+}
+
+/// Everything observed about one fault-injection run.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Classified outcome.
+    pub outcome: FaultOutcome,
+    /// Whether the armed fault actually fired (its target instruction
+    /// dispatched).
+    pub fired: bool,
+    /// IR-misprediction (divergence-detection) events during the run.
+    pub detections: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+/// Runs `program` on the functional simulator to completion, returning the
+/// golden final state.
+///
+/// # Panics
+///
+/// Panics if the program does not halt within `fuel` instructions.
+pub fn golden_state(program: &Program, fuel: u64) -> ArchState {
+    let mut st = ArchState::new(program);
+    st.run_quiet(program, fuel)
+        .expect("golden run must complete");
+    st
+}
+
+/// Injects one fault and classifies the run against `golden`.
+/// `baseline_detections` is the IR-misprediction count of a fault-free run
+/// of the same program/config: only detections beyond it are attributed to
+/// the fault (ordinary mispredicted removals also trigger detection).
+pub fn run_fault_experiment(
+    cfg: SlipstreamConfig,
+    program: &Program,
+    target: FaultTarget,
+    fault: FaultSpec,
+    max_cycles: u64,
+    golden: &ArchState,
+    baseline_detections: u64,
+) -> FaultReport {
+    let mut proc = SlipstreamProcessor::new(cfg, program);
+    match target {
+        FaultTarget::AStream => proc.arm_fault_a(fault),
+        FaultTarget::RStream => proc.arm_fault_r(fault),
+    }
+    let halted = proc.run(max_cycles);
+    let stats = proc.stats();
+    let fired = match target {
+        FaultTarget::AStream => stats.a_core.faults_injected > 0,
+        FaultTarget::RStream => stats.r_core.faults_injected > 0,
+    };
+    let outcome = if !halted {
+        FaultOutcome::Hang
+    } else {
+        let regs_ok = proc.r_core().arch_regs() == golden.regs();
+        let mem_ok = proc.r_core().mem().first_difference(golden.mem()).is_none();
+        if regs_ok && mem_ok {
+            if stats.ir_mispredictions > baseline_detections {
+                FaultOutcome::DetectedRecovered
+            } else {
+                FaultOutcome::Masked
+            }
+        } else {
+            FaultOutcome::SilentCorruption
+        }
+    };
+    FaultReport {
+        outcome,
+        fired,
+        detections: stats.ir_mispredictions,
+        cycles: stats.cycles,
+    }
+}

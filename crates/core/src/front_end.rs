@@ -1,0 +1,662 @@
+//! The trace-predictor front end: a [`CoreDriver`] that fetches predicted
+//! traces, falls back to static construction when cold, and — in A-stream
+//! mode — applies the IR-predictor's instruction removal, producing the
+//! paper's reduced A-stream along with the delay-buffer traffic.
+//!
+//! The same driver runs the SS(64x4)/SS(128x8) baselines (removal and
+//! delay-buffer emission disabled), so baseline and slipstream share every
+//! line of front-end behaviour except the slipstream-specific parts —
+//! exactly the comparison the paper makes.
+
+use std::collections::{HashMap, VecDeque};
+
+use slipstream_cpu::{CoreDriver, FetchItem};
+use slipstream_isa::{Instr, Program, Retired};
+use slipstream_predict::{
+    materialize, PathHistory, TraceId, TracePredictor, TracePredictorConfig, MAX_TRACE_LEN,
+};
+
+use crate::delay::{DelayEntry, TraceCommit};
+use crate::ir_table::{IrTable, RemovalInfo};
+use crate::removal::Reason;
+
+/// If this many skipped slots pile up without an executed instruction to
+/// attach to (a pathological fully-removed loop), removal is suspended for
+/// subsequent traces until the backlog drains — a forward-progress guard.
+const MAX_PENDING_SKIPS: usize = 512;
+
+#[derive(Debug, Clone)]
+struct SkipRec {
+    pc: u64,
+    instr: Instr,
+    next_pc: u64,
+    ends_trace: bool,
+    /// Predicted outcome if this is a skipped branch.
+    taken: Option<bool>,
+    reason: Reason,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ItemMeta {
+    skips_before: Vec<SkipRec>,
+    ends_trace: bool,
+    /// Which fetched trace this item belongs to (monotonic counter).
+    trace_no: u64,
+    /// Slot index within the canonical trace (counting skipped slots).
+    canonical_pos: u8,
+}
+
+/// Bookkeeping for a fetched-but-not-yet-committed trace: reconciles the
+/// speculative path history with what actually retires.
+#[derive(Debug, Clone, Copy)]
+struct InflightTrace {
+    trace_no: u64,
+    /// The id pushed onto the speculative history at fetch.
+    used: TraceId,
+    /// The predictor's output for this slot, if any (accuracy stats).
+    predicted: Option<TraceId>,
+}
+
+/// Builds the trace id that *actually retired* (predicted outcomes for
+/// skipped slots, computed outcomes for executed ones) plus the used
+/// ir-vec, from the in-order retire stream.
+#[derive(Debug, Default)]
+struct CommitBuilder {
+    start_pc: Option<u64>,
+    outcomes: u32,
+    branch_count: u8,
+    len: u8,
+    used_vec: u32,
+}
+
+impl CommitBuilder {
+    /// Feeds one slot; returns the finished commit at a trace boundary.
+    fn feed(
+        &mut self,
+        pc: u64,
+        taken: Option<bool>,
+        skipped: bool,
+        ends_trace: bool,
+    ) -> Option<TraceCommit> {
+        if self.start_pc.is_none() {
+            self.start_pc = Some(pc);
+        }
+        if let Some(t) = taken {
+            if t {
+                self.outcomes |= 1 << self.branch_count;
+            }
+            self.branch_count += 1;
+        }
+        if skipped {
+            self.used_vec |= 1 << self.len;
+        }
+        self.len += 1;
+        if ends_trace || self.len as usize >= MAX_TRACE_LEN {
+            let commit = TraceCommit {
+                id: TraceId {
+                    start_pc: self.start_pc.expect("fed at least one slot"),
+                    outcomes: self.outcomes,
+                    branch_count: self.branch_count,
+                    len: self.len,
+                },
+                used_vec: self.used_vec,
+            };
+            *self = CommitBuilder::default();
+            return Some(commit);
+        }
+        None
+    }
+}
+
+/// Accuracy/behaviour counters for a [`TraceFrontEnd`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontEndStats {
+    /// Traces fetched from a predictor hit.
+    pub traces_predicted: u64,
+    /// Traces constructed by static fallback.
+    pub traces_fallback: u64,
+    /// Retired traces whose id matched the prediction used to fetch them.
+    pub traces_correct: u64,
+    /// Retired traces (commits emitted).
+    pub traces_committed: u64,
+    /// Traces to which instruction removal was applied.
+    pub traces_reduced: u64,
+}
+
+/// A control-flow front end driving one core from the shared trace
+/// predictor, optionally reduced by the IR-predictor (A-stream mode).
+pub struct TraceFrontEnd {
+    program: Program,
+    /// The next-trace predictor (the paper drives *all* models with it).
+    pub predictor: TracePredictor,
+    /// The instruction-removal table (the IR-predictor's removal half).
+    pub ir_table: IrTable,
+    spec_hist: PathHistory,
+    retired_hist: PathHistory,
+    removal_enabled: bool,
+    /// Emit delay-buffer entries and trace commits (A-stream mode).
+    emit: bool,
+
+    ready: VecDeque<FetchItem>,
+    next_pred: Option<TraceId>,
+    fetch_pc: Option<u64>,
+    next_meta: u64,
+    metas: HashMap<u64, ItemMeta>,
+    pending_skips: Vec<SkipRec>,
+    inflight: VecDeque<InflightTrace>,
+    trace_counter: u64,
+    /// Slots of the current canonical trace already emitted (nonzero only
+    /// after a misprediction truncated fetch mid-trace: the next fetch is
+    /// a *continuation* of the same trace, so boundaries stay canonical —
+    /// traces close only at 32 instructions, `jr`, or `halt`).
+    open_len: u8,
+    open_trace_no: u64,
+    /// Last committed trace id per start PC — a tiny trace cache used as
+    /// the fallback of last resort (repeats the previous path through this
+    /// PC instead of guessing all-not-taken).
+    last_trace_at: HashMap<u64, TraceId>,
+    commit: CommitBuilder,
+    done: bool,
+
+    /// Delay entries produced at retirement (drained by the harness).
+    pub out_entries: Vec<DelayEntry>,
+    /// Trace commits produced at retirement (drained by the harness).
+    pub out_commits: Vec<TraceCommit>,
+    /// `(context key, trace id)` pairs whose removal was applied at fetch
+    /// (drained by the harness for verification bookkeeping and
+    /// recovery-time confidence penalties).
+    pub out_applied: Vec<(u64, TraceId)>,
+    /// Executed-entry retire budget for this cycle (delay-buffer
+    /// back-pressure; `usize::MAX` when unconstrained).
+    pub retire_budget: usize,
+    /// Removed-slot counts by [`Reason`] bits.
+    pub skip_counts: HashMap<u8, u64>,
+    /// Front-end statistics.
+    pub stats: FrontEndStats,
+    /// Debug histogram: committed traces by (start_pc, len).
+    pub commit_histogram: HashMap<(u64, u8), u64>,
+}
+
+impl TraceFrontEnd {
+    /// Creates a baseline front end (no removal, no delay-buffer output).
+    pub fn baseline(program: &Program, tp_cfg: TracePredictorConfig) -> TraceFrontEnd {
+        TraceFrontEnd::new(program, tp_cfg, IrTable::new(1, u32::MAX), false, false)
+    }
+
+    /// Creates an A-stream front end with the given removal table.
+    pub fn a_stream(
+        program: &Program,
+        tp_cfg: TracePredictorConfig,
+        ir_table: IrTable,
+        removal_enabled: bool,
+    ) -> TraceFrontEnd {
+        TraceFrontEnd::new(program, tp_cfg, ir_table, removal_enabled, true)
+    }
+
+    fn new(
+        program: &Program,
+        tp_cfg: TracePredictorConfig,
+        ir_table: IrTable,
+        removal_enabled: bool,
+        emit: bool,
+    ) -> TraceFrontEnd {
+        let predictor = TracePredictor::new(tp_cfg);
+        let spec_hist = predictor.new_history();
+        let retired_hist = predictor.new_history();
+        TraceFrontEnd {
+            fetch_pc: Some(program.entry()),
+            program: program.clone(),
+            predictor,
+            ir_table,
+            spec_hist,
+            retired_hist,
+            removal_enabled,
+            emit,
+            ready: VecDeque::new(),
+            next_pred: None,
+            next_meta: 1,
+            metas: HashMap::new(),
+            pending_skips: Vec::new(),
+            inflight: VecDeque::new(),
+            trace_counter: 0,
+            open_len: 0,
+            open_trace_no: 0,
+            last_trace_at: HashMap::new(),
+            commit: CommitBuilder::default(),
+            done: false,
+            out_entries: Vec::new(),
+            out_commits: Vec::new(),
+            out_applied: Vec::new(),
+            retire_budget: usize::MAX,
+            skip_counts: HashMap::new(),
+            stats: FrontEndStats::default(),
+            commit_histogram: HashMap::new(),
+        }
+    }
+
+    /// Whether the front end has supplied `halt` and gone quiescent.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Restarts the front end at `pc` with all in-flight state dropped
+    /// (IR-misprediction recovery). Predictor tables and the removal table
+    /// survive; path histories re-synchronize to the retired history.
+    pub fn reset_to(&mut self, pc: u64) {
+        self.ready.clear();
+        self.next_pred = None;
+        self.metas.clear();
+        self.pending_skips.clear();
+        self.inflight.clear();
+        self.commit = CommitBuilder::default();
+        self.open_len = 0;
+        self.done = false;
+        self.fetch_pc = Some(pc);
+        self.out_entries.clear();
+        self.out_commits.clear();
+        self.out_applied.clear();
+        self.spec_hist.sync_to(&self.retired_hist);
+    }
+
+    // ---- fetch-side trace preparation ------------------------------------
+
+    /// Resolves the next trace to fetch:
+    /// `(used_id, pcs, next_start, predicted)`.
+    #[allow(clippy::type_complexity)]
+    fn resolve_next(&mut self) -> Option<(TraceId, Vec<u64>, Option<u64>, Option<TraceId>)> {
+        let pred = self
+            .next_pred
+            .take()
+            .or_else(|| self.predictor.predict(&self.spec_hist));
+        let resolved = match (pred, self.fetch_pc) {
+            (Some(id), Some(pc)) if id.start_pc == pc => {
+                materialize(&self.program, id).map(|m| (id, m.pcs, m.next_pc))
+            }
+            (Some(_), Some(_)) | (None, Some(_)) => None, // fall back below
+            (Some(id), None) => materialize(&self.program, id).map(|m| (id, m.pcs, m.next_pc)),
+            (None, None) => return None,
+        };
+        match resolved {
+            Some((id, pcs, npc)) => {
+                self.stats.traces_predicted += 1;
+                Some((id, pcs, npc, pred))
+            }
+            None => {
+                let pc = self.fetch_pc?;
+                // Trace-cache fallback: repeat the last committed path
+                // through this PC; otherwise construct statically.
+                let r = self
+                    .last_trace_at
+                    .get(&pc)
+                    .copied()
+                    .and_then(|id| materialize(&self.program, id).map(|m| (id, m.pcs, m.next_pc)))
+                    .or_else(|| self.fallback_trace(pc))?;
+                self.stats.traces_fallback += 1;
+                Some((r.0, r.1, r.2, pred))
+            }
+        }
+    }
+
+    /// Statically constructs a trace from `pc`: branches assumed
+    /// not-taken, static jump targets followed, ends at `jr`/`halt`/32.
+    fn fallback_trace(&self, pc: u64) -> Option<(TraceId, Vec<u64>, Option<u64>)> {
+        let mut pcs = Vec::new();
+        let mut cur = pc;
+        let mut branch_count = 0u8;
+        let mut next_start = None;
+        for i in 0..MAX_TRACE_LEN {
+            let instr = self.program.instr_at(cur)?;
+            pcs.push(cur);
+            let following = match instr {
+                Instr::Beq { .. } | Instr::Bne { .. } | Instr::Blt { .. } | Instr::Bge { .. } => {
+                    branch_count += 1;
+                    cur + 4 // predicted not-taken
+                }
+                Instr::J { target } | Instr::Jal { target, .. } => *target,
+                Instr::Jr { .. } | Instr::Halt => break,
+                _ => cur + 4,
+            };
+            if i + 1 == MAX_TRACE_LEN {
+                next_start = Some(following);
+            }
+            cur = following;
+        }
+        if pcs.len() < MAX_TRACE_LEN {
+            // Ended at jr/halt: no statically-known successor.
+            next_start = None;
+        }
+        let id = TraceId {
+            start_pc: pc,
+            outcomes: 0,
+            branch_count,
+            len: pcs.len() as u8,
+        };
+        Some((id, pcs, next_start))
+    }
+
+    /// Fetches the remainder of the current canonical trace after a
+    /// misprediction redirected fetch mid-trace. Constructed statically
+    /// (branches assumed not-taken) — the canonical trace id is rebuilt at
+    /// retirement either way.
+    fn prepare_continuation(&mut self) -> bool {
+        let Some(mut pc) = self.fetch_pc else { return false };
+        let remaining = MAX_TRACE_LEN as u8 - self.open_len;
+        let mut emitted = 0u8;
+        let mut closed = false;
+        let mut new_block = true;
+        while emitted < remaining {
+            let Some(&instr) = self.program.instr_at(pc) else {
+                // Wild continuation (corrupt A-stream context): supply
+                // nothing; the R-stream's checks will trigger recovery.
+                return emitted > 0;
+            };
+            let ends = matches!(instr, Instr::Jr { .. } | Instr::Halt)
+                || emitted + 1 == remaining;
+            let pred_npc = match instr {
+                Instr::J { target } | Instr::Jal { target, .. } => target,
+                Instr::Jr { .. } => 0, // unknown: resolves via redirect
+                Instr::Halt => pc,
+                _ => pc + 4,
+            };
+            let meta = self.next_meta;
+            self.next_meta += 1;
+            self.metas.insert(
+                meta,
+                ItemMeta {
+                    skips_before: Vec::new(),
+                    ends_trace: ends,
+                    trace_no: self.open_trace_no,
+                    canonical_pos: self.open_len + emitted,
+                },
+            );
+            self.ready.push_back(FetchItem {
+                pc,
+                instr,
+                pred_npc,
+                pred_taken: instr.is_branch().then_some(false),
+                new_block,
+                slot_cost: 1,
+                meta,
+            });
+            new_block = pred_npc != pc + 4;
+            emitted += 1;
+            if matches!(instr, Instr::Halt) {
+                self.done = true;
+                closed = true;
+                break;
+            }
+            if matches!(instr, Instr::Jr { .. }) {
+                closed = true;
+                self.fetch_pc = None;
+                break;
+            }
+            pc = pred_npc;
+            if ends {
+                closed = true;
+                break;
+            }
+        }
+        if closed || emitted == remaining {
+            self.open_len = 0;
+            if self.done {
+                self.fetch_pc = None;
+            } else if self.fetch_pc.is_some() {
+                // Not a jr ending: next trace starts at the fall-through.
+                self.fetch_pc = Some(pc);
+            }
+        } else {
+            self.open_len += emitted;
+        }
+        emitted > 0
+    }
+
+    /// Prepares one more trace's worth of fetch items. Returns `false` if
+    /// nothing could be prepared (unknown successor or program finished).
+    fn prepare_trace(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        if self.open_len > 0 {
+            return self.prepare_continuation();
+        }
+        let Some((used_id, pcs, next_start, predicted)) = self.resolve_next() else {
+            return false;
+        };
+        if std::env::var_os("SLIP_DEBUG_FE").is_some() {
+            eprintln!(
+                "prep ctx={:016x} used=({:#x},{:x},bc{},l{}) pred={}",
+                self.spec_hist.context_hash(),
+                used_id.start_pc, used_id.outcomes, used_id.branch_count, used_id.len,
+                match predicted {
+                    Some(p) => format!("({:#x},{:x},bc{},l{})", p.start_pc, p.outcomes, p.branch_count, p.len),
+                    None => "none".into(),
+                }
+            );
+        }
+        // Context under which this trace's removal entry lives: the path
+        // history *before* the trace itself.
+        let context_key = self.spec_hist.context_hash();
+        self.spec_hist.push(used_id);
+        let trace_no = self.trace_counter;
+        self.trace_counter += 1;
+        self.inflight.push_back(InflightTrace { trace_no, used: used_id, predicted });
+
+        // Removal lookup (A-stream only).
+        let removal: RemovalInfo = if self.removal_enabled
+            && self.pending_skips.len() < MAX_PENDING_SKIPS
+        {
+            match self.ir_table.removal_for(context_key, &used_id) {
+                Some(info) => {
+                    self.stats.traces_reduced += 1;
+                    self.out_applied.push((context_key, used_id));
+                    info
+                }
+                None => RemovalInfo::empty(),
+            }
+        } else {
+            RemovalInfo::empty()
+        };
+
+        self.open_trace_no = trace_no;
+        let n = pcs.len();
+        let ends_with_halt = self
+            .program
+            .instr_at(pcs[n - 1])
+            .is_some_and(|i| matches!(i, Instr::Halt));
+        // Eager successor prediction for jr-ended traces (the paper's next
+        // trace prediction supplies the indirect target).
+        let successor: Option<u64> = match next_start {
+            Some(npc) => Some(npc),
+            None if ends_with_halt => None,
+            None => {
+                self.next_pred = self.predictor.predict(&self.spec_hist);
+                self.next_pred.map(|t| t.start_pc)
+            }
+        };
+        self.fetch_pc = successor;
+
+        // Per-slot block indices: a new block starts wherever the path is
+        // not sequential.
+        let mut block = vec![0u32; n];
+        for i in 1..n {
+            block[i] = block[i - 1] + u32::from(pcs[i] != pcs[i - 1] + 4);
+        }
+
+        let mut branch_idx = 0usize;
+        let mut last_kept: Option<(usize, u32)> = None; // (slot, block)
+        let mut skips_since_kept_in_block = 0u32;
+        for i in 0..n {
+            let pc = pcs[i];
+            let instr = *self.program.instr_at(pc).expect("materialized pcs are valid");
+            let pred_taken = instr.is_branch().then(|| used_id.outcome(branch_idx));
+            if instr.is_branch() {
+                branch_idx += 1;
+            }
+            let slot_next: Option<u64> = if i + 1 < n {
+                Some(pcs[i + 1])
+            } else if matches!(instr, Instr::Halt) {
+                Some(pc)
+            } else {
+                successor
+            };
+            let removable = removal.removes(i)
+                && !matches!(instr, Instr::Halt | Instr::Jr { .. } | Instr::Jal { .. });
+            if removable {
+                self.pending_skips.push(SkipRec {
+                    pc,
+                    instr,
+                    next_pc: slot_next.unwrap_or(0),
+                    ends_trace: i + 1 == n,
+                    taken: pred_taken,
+                    reason: removal.reasons[i],
+                });
+                if last_kept.is_some_and(|(_, b)| b == block[i]) {
+                    skips_since_kept_in_block += 1;
+                }
+                continue;
+            }
+            let meta = self.next_meta;
+            self.next_meta += 1;
+            self.metas.insert(
+                meta,
+                ItemMeta {
+                    skips_before: std::mem::take(&mut self.pending_skips),
+                    ends_trace: i + 1 == n,
+                    trace_no,
+                    canonical_pos: i as u8,
+                },
+            );
+            let (new_block, slot_cost) = match last_kept {
+                Some((_, b)) if b == block[i] => (false, 1 + skips_since_kept_in_block),
+                Some(_) => (true, 1),
+                None => (true, 1),
+            };
+            skips_since_kept_in_block = 0;
+            last_kept = Some((i, block[i]));
+            self.ready.push_back(FetchItem {
+                pc,
+                instr,
+                pred_npc: slot_next.unwrap_or(0),
+                pred_taken,
+                new_block,
+                slot_cost,
+                meta,
+            });
+            if matches!(instr, Instr::Halt) {
+                self.done = true;
+            }
+        }
+        true
+    }
+}
+
+impl CoreDriver for TraceFrontEnd {
+    fn next_fetch(&mut self) -> Option<FetchItem> {
+        let mut guard = 0;
+        while self.ready.is_empty() {
+            if !self.prepare_trace() {
+                return None;
+            }
+            guard += 1;
+            if guard > 64 {
+                // Pathological full-trace removal run; yield this cycle.
+                return None;
+            }
+        }
+        self.ready.pop_front()
+    }
+
+    fn on_redirect(&mut self, resolved: &Retired, meta: u64) {
+        self.ready.clear();
+        self.next_pred = None;
+        self.pending_skips.clear();
+        // Traces fetched beyond the redirecting one are wrong-path: drop
+        // them and undo their speculative-history pushes.
+        let (cur_trace, pos, ended) = match self.metas.get(&meta) {
+            Some(m) => (m.trace_no, m.canonical_pos, m.ends_trace),
+            None => (u64::MAX, 0, true),
+        };
+        while self.inflight.back().is_some_and(|t| t.trace_no > cur_trace) {
+            self.inflight.pop_back();
+            self.spec_hist.pop_recent();
+        }
+        self.metas.retain(|&k, _| k <= meta);
+        // The canonical trace continues through the redirect unless the
+        // redirecting instruction already closed it.
+        if ended {
+            self.open_len = 0;
+        } else {
+            self.open_len = pos + 1;
+            self.open_trace_no = cur_trace;
+        }
+        self.fetch_pc = Some(resolved.next_pc);
+        self.done = false;
+    }
+
+    fn on_retire(&mut self, rec: &Retired, meta: u64) {
+        let m = self
+            .metas
+            .remove(&meta)
+            .expect("every dispatched item has retire metadata");
+        for skip in &m.skips_before {
+            if let Some(c) = self.commit.feed(skip.pc, skip.taken, true, skip.ends_trace) {
+                self.finish_commit(c);
+            }
+            if self.emit {
+                self.out_entries.push(DelayEntry::skipped(
+                    skip.pc,
+                    skip.instr,
+                    skip.next_pc,
+                    skip.ends_trace,
+                ));
+            }
+            *self.skip_counts.entry(skip.reason.bits()).or_insert(0) += 1;
+        }
+        if let Some(c) = self.commit.feed(rec.pc, rec.taken, false, m.ends_trace) {
+            self.finish_commit(c);
+        }
+        if self.emit {
+            self.out_entries.push(DelayEntry {
+                pc: rec.pc,
+                instr: rec.instr,
+                next_pc: rec.next_pc,
+                skipped: false,
+                ends_trace: m.ends_trace,
+                taken: rec.taken,
+                src1: rec.src1.map(|(_, v)| v),
+                src2: rec.src2.map(|(_, v)| v),
+                result: rec.dest.map(|(_, v)| v),
+                addr: rec.mem.map(|mm| mm.addr),
+                store_value: rec.mem.and_then(|mm| mm.is_store.then_some(mm.value)),
+            });
+        }
+    }
+
+    fn retire_capacity(&mut self) -> usize {
+        self.retire_budget
+    }
+}
+
+impl TraceFrontEnd {
+    fn finish_commit(&mut self, c: TraceCommit) {
+        self.stats.traces_committed += 1;
+        if let Some(t) = self.inflight.pop_front() {
+            if t.predicted == Some(c.id) {
+                self.stats.traces_correct += 1;
+            }
+            // Reconcile the speculative history with reality: the id we
+            // pushed at fetch may differ from what retired (fallback
+            // guess, truncation at a misprediction).
+            if t.used != c.id {
+                self.spec_hist.replace_oldest(t.used, c.id);
+            }
+        }
+        self.predictor.update(&self.retired_hist, c.id);
+        self.retired_hist.push(c.id);
+        self.last_trace_at.insert(c.id.start_pc, c.id);
+        *self.commit_histogram.entry((c.id.start_pc, c.id.len)).or_insert(0) += 1;
+        if self.emit {
+            self.out_commits.push(c);
+        }
+    }
+}

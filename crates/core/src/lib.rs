@@ -1,0 +1,30 @@
+//! The slipstream microarchitecture (the paper's contribution).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+/// Processor and removal-policy configuration (paper Table 2).
+pub mod config;
+pub mod delay;
+pub mod fault;
+pub mod detector;
+pub mod front_end;
+/// The IR-predictor's removal table (ir-vecs + confidence).
+pub mod ir_table;
+pub mod recovery;
+/// Removal reasons and Figure 8 accounting categories.
+pub mod removal;
+pub mod rstream;
+pub mod slipstream;
+
+pub use baseline::{run_superscalar, run_superscalar_with_core, BaselineStats};
+pub use config::{RemovalPolicy, SlipstreamConfig};
+pub use fault::{golden_state, run_fault_experiment, FaultOutcome, FaultReport, FaultTarget};
+pub use delay::{DelayBuffer, DelayEntry, TraceCommit};
+pub use detector::{DetectorOutput, IrDetector};
+pub use front_end::{FrontEndStats, TraceFrontEnd};
+pub use ir_table::{IrTable, RemovalInfo};
+pub use recovery::{RecoveryController, RecoveryOutcome};
+pub use removal::{Category, Reason};
+pub use rstream::{IrMispKind, RStreamDriver};
+pub use slipstream::{SlipstreamProcessor, SlipstreamStats};

@@ -1,0 +1,192 @@
+use std::fmt;
+
+/// Why an instruction was (or could be) removed from the A-stream,
+/// matching the paper's Figure 8 categories.
+///
+/// The three *trigger* bits can combine with [`Reason::PROP`] for
+/// instructions removed by back-propagation, which "inherit any combination
+/// of BR, WW, and SV status" from their consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Reason(u8);
+
+impl Reason {
+    /// No reason (not removed).
+    pub const NONE: Reason = Reason(0);
+    /// A branch instruction (direct trigger).
+    pub const BR: Reason = Reason(1);
+    /// A write followed by a write to the same location with no
+    /// intervening reference — dynamic dead code (direct trigger).
+    pub const WW: Reason = Reason(1 << 1);
+    /// A write of the same value the location already held (direct
+    /// trigger). When WW and SV coincide the paper gives priority to SV.
+    pub const SV: Reason = Reason(1 << 2);
+    /// Removed by back-propagation from removed consumers.
+    pub const PROP: Reason = Reason(1 << 3);
+
+    /// Combines two reasons.
+    pub fn union(self, other: Reason) -> Reason {
+        Reason(self.0 | other.0)
+    }
+
+    /// Whether any bit of `other` is present.
+    pub fn contains(self, other: Reason) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether this is a removal at all.
+    pub fn is_removed(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Whether this was a back-propagated (`P:`) removal.
+    pub fn is_propagated(self) -> bool {
+        self.contains(Reason::PROP)
+    }
+
+    /// Just the trigger bits (BR/WW/SV), dropping the propagation marker.
+    pub fn triggers(self) -> Reason {
+        Reason(self.0 & 0b111)
+    }
+
+    /// Raw bits, usable as a compact table key.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a reason from raw bits.
+    pub fn from_bits(bits: u8) -> Reason {
+        Reason(bits & 0b1111)
+    }
+
+    /// The accounting category used in Figure 8, with the paper's
+    /// SV-over-WW priority for direct triggers.
+    pub fn category(self) -> Category {
+        if !self.is_removed() {
+            return Category::NotRemoved;
+        }
+        if self.is_propagated() {
+            return Category::Propagated(self.triggers());
+        }
+        // Direct triggers: SV takes priority over WW in accounting.
+        if self.contains(Reason::SV) {
+            Category::Sv
+        } else if self.contains(Reason::WW) {
+            Category::Ww
+        } else {
+            Category::Br
+        }
+    }
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_removed() {
+            return write!(f, "-");
+        }
+        let mut parts = Vec::new();
+        if self.contains(Reason::SV) {
+            parts.push("SV");
+        }
+        if self.contains(Reason::WW) {
+            parts.push("WW");
+        }
+        if self.contains(Reason::BR) {
+            parts.push("BR");
+        }
+        if self.is_propagated() {
+            write!(f, "P: {}", parts.join(","))
+        } else {
+            write!(f, "{}", parts.join(","))
+        }
+    }
+}
+
+/// Figure 8 accounting category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Instruction was not removed.
+    NotRemoved,
+    /// Direct branch removal.
+    Br,
+    /// Direct dead-write removal.
+    Ww,
+    /// Direct silent-write removal.
+    Sv,
+    /// Back-propagated removal inheriting the given trigger combination.
+    Propagated(Reason),
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::NotRemoved => write!(f, "-"),
+            Category::Br => write!(f, "BR"),
+            Category::Ww => write!(f, "WW"),
+            Category::Sv => write!(f, "SV"),
+            Category::Propagated(r) => {
+                let mut parts = Vec::new();
+                if r.contains(Reason::SV) {
+                    parts.push("SV");
+                }
+                if r.contains(Reason::WW) {
+                    parts.push("WW");
+                }
+                if r.contains(Reason::BR) {
+                    parts.push("BR");
+                }
+                write!(f, "P: {}", parts.join(","))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_contains() {
+        let r = Reason::BR.union(Reason::SV);
+        assert!(r.contains(Reason::BR));
+        assert!(r.contains(Reason::SV));
+        assert!(!r.contains(Reason::WW));
+        assert!(r.is_removed());
+        assert!(!Reason::NONE.is_removed());
+    }
+
+    #[test]
+    fn sv_priority_in_direct_accounting() {
+        assert_eq!(Reason::SV.union(Reason::WW).category(), Category::Sv);
+        assert_eq!(Reason::WW.category(), Category::Ww);
+        assert_eq!(Reason::BR.category(), Category::Br);
+    }
+
+    #[test]
+    fn propagated_category_keeps_trigger_mix() {
+        let r = Reason::PROP.union(Reason::BR).union(Reason::SV);
+        match r.category() {
+            Category::Propagated(t) => {
+                assert!(t.contains(Reason::BR));
+                assert!(t.contains(Reason::SV));
+                assert!(!t.contains(Reason::PROP));
+            }
+            other => panic!("expected propagated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Reason::BR.to_string(), "BR");
+        assert_eq!(Reason::SV.union(Reason::WW).to_string(), "SV,WW");
+        assert_eq!(Reason::PROP.union(Reason::BR).to_string(), "P: BR");
+        assert_eq!(Category::Propagated(Reason::SV.union(Reason::BR)).to_string(), "P: SV,BR");
+        assert_eq!(Reason::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for bits in 0..16 {
+            assert_eq!(Reason::from_bits(bits).bits(), bits);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The slipstream processor: two cores on a CMP, the IR-predictor front
+//! end reducing the leading A-stream, the delay buffer feeding the
+//! trailing R-stream, the IR-detector learning what to remove, and the
+//! recovery controller repairing the A-stream when removal went wrong
+//! (paper §2, Figure 1).
+
+
+use slipstream_cpu::{Core, CoreStats, FaultSpec};
+use slipstream_isa::{ArchState, Program, Retired};
+use slipstream_predict::{PathHistory, TraceId};
+
+use crate::config::SlipstreamConfig;
+use crate::front_end::{FrontEndStats, TraceFrontEnd};
+use crate::ir_table::IrTable;
+use crate::recovery::RecoveryController;
+use crate::removal::Reason;
+use crate::rstream::{IrMispKind, RStreamDriver};
+
+/// If the R-stream retires nothing for this many cycles the simulation is
+/// wedged (a harness bug, not a program property) and we panic loudly.
+const HARNESS_WATCHDOG: u64 = 2_000_000;
+
+/// End-of-run summary of a slipstream execution.
+#[derive(Debug, Clone)]
+pub struct SlipstreamStats {
+    /// Total cycles simulated (both cores advance in lockstep).
+    pub cycles: u64,
+    /// Instructions retired by the R-stream — the full program, counted
+    /// once; the paper's IPC numerator.
+    pub r_retired: u64,
+    /// Instructions retired by the (reduced) A-stream.
+    pub a_retired: u64,
+    /// Combined IPC: `r_retired / cycles` (paper §5).
+    pub ipc: f64,
+    /// Dynamic instructions skipped by the A-stream.
+    pub skipped: u64,
+    /// Skips by removal reason (Figure 8 accounting).
+    pub skipped_by_reason: Vec<(Reason, u64)>,
+    /// `skipped / r_retired`: the fraction of the dynamic stream removed.
+    pub removal_fraction: f64,
+    /// IR-mispredictions detected.
+    pub ir_mispredictions: u64,
+    /// IR-mispredictions per 1000 retired instructions (Table 3).
+    pub ir_misp_per_kilo: f64,
+    /// Mean recovery latency in cycles (Table 3's "avg. IR-misprediction
+    /// penalty").
+    pub avg_ir_penalty: f64,
+    /// A-stream conventional branch mispredictions per 1000 retired
+    /// instructions (Table 3's CMP row).
+    pub branch_misp_per_kilo: f64,
+    /// Memory locations restored across all recoveries.
+    pub mem_restored: u64,
+    /// Operand values delivered to the R-stream as matching predictions.
+    pub value_hints: u64,
+    /// A-stream core counters.
+    pub a_core: CoreStats,
+    /// R-stream core counters.
+    pub r_core: CoreStats,
+    /// A-stream front-end counters.
+    pub front_end: FrontEndStats,
+    /// Whether the program ran to completion (`halt` retired in the
+    /// R-stream).
+    pub halted: bool,
+}
+
+/// A slipstream processor built from two identical cores.
+pub struct SlipstreamProcessor {
+    cfg: SlipstreamConfig,
+    program: Program,
+    a_core: Core,
+    r_core: Core,
+    a_fe: TraceFrontEnd,
+    r_drv: RStreamDriver,
+    recovery: RecoveryController,
+    /// Path history mirrored on the verification side, so IR-detector
+    /// outputs are filed under the same context keys the A-stream uses for
+    /// lookups.
+    observe_hist: PathHistory,
+    applied_pending: Vec<(u64, TraceId)>,
+    last_r_retired: Option<Retired>,
+    cycles: u64,
+    ir_misps: u64,
+    penalty_sum: u64,
+    mem_restored_sum: u64,
+    last_r_progress: u64,
+    strict: bool,
+    /// Online functional checker (paper §4): a functional simulator
+    /// stepped in lockstep with R-stream retirement; any divergence is a
+    /// simulator bug and panics immediately.
+    online_check: Option<ArchState>,
+    /// Log of detected IR-mispredictions (kind, cycle) — used by the fault
+    /// experiments to classify outcomes.
+    pub misp_log: Vec<(IrMispKind, u64)>,
+}
+
+impl SlipstreamProcessor {
+    /// Builds a slipstream processor for `program`. Each stream gets a
+    /// private copy of the program's memory image (process replication).
+    pub fn new(cfg: SlipstreamConfig, program: &Program) -> SlipstreamProcessor {
+        let ir_table = IrTable::new(cfg.ir_table_capacity, cfg.confidence_threshold);
+        let a_fe = TraceFrontEnd::a_stream(program, cfg.trace_pred, ir_table, cfg.removal.any());
+        let r_drv = RStreamDriver::new(
+            cfg.delay_data_entries,
+            cfg.delay_control_entries,
+            cfg.removal,
+            cfg.detector_scope,
+        );
+        SlipstreamProcessor {
+            a_core: Core::new(cfg.core.clone(), program.initial_memory()),
+            r_core: Core::new(cfg.core.clone(), program.initial_memory()),
+            program: program.clone(),
+            a_fe,
+            r_drv,
+            recovery: RecoveryController::new(),
+            observe_hist: PathHistory::new(cfg.trace_pred.path_len),
+            applied_pending: Vec::new(),
+            last_r_retired: None,
+            cycles: 0,
+            ir_misps: 0,
+            penalty_sum: 0,
+            mem_restored_sum: 0,
+            last_r_progress: 0,
+            strict: false,
+            online_check: None,
+            misp_log: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Enables expensive post-recovery invariant checks: after every
+    /// recovery the A-stream context must be bit-identical to the
+    /// R-stream context (registers *and* full memory image).
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// Runs a functional simulator in lockstep with R-stream retirement,
+    /// panicking on the first divergence — the paper's §4 methodology
+    /// ("the simulator itself is validated via a functional simulator run
+    /// independently and in parallel with the detailed timing simulator").
+    /// Roughly doubles simulation cost; intended for tests and debugging.
+    pub fn enable_online_check(&mut self) {
+        self.online_check = Some(ArchState::new(&self.program));
+    }
+
+    /// The trailing (architecturally correct) core.
+    pub fn r_core(&self) -> &Core {
+        &self.r_core
+    }
+
+    /// The leading (reduced, speculative) core.
+    pub fn a_core(&self) -> &Core {
+        &self.a_core
+    }
+
+    /// Whether the program has completed (R-stream retired `halt`).
+    pub fn halted(&self) -> bool {
+        self.r_core.halted()
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Arms a transient fault in the A-stream core (see [`FaultSpec`]).
+    pub fn arm_fault_a(&mut self, fault: FaultSpec) {
+        self.a_core.arm_fault(fault);
+    }
+
+    /// Arms a transient fault in the R-stream core.
+    pub fn arm_fault_r(&mut self, fault: FaultSpec) {
+        self.r_core.arm_fault(fault);
+    }
+
+    /// Advances both cores one cycle and routes all inter-stream traffic.
+    pub fn step(&mut self) {
+        self.cycles += 1;
+
+        // Delay-buffer back-pressure gates A-stream retirement.
+        self.a_fe.retire_budget = if self.r_drv.delay.control_full() {
+            0
+        } else {
+            self.r_drv.delay.free_data()
+        };
+        self.a_core.cycle(&mut self.a_fe);
+
+        // Route the A-stream's retirement output into the delay buffer and
+        // the recovery controller.
+        for e in self.a_fe.out_entries.drain(..) {
+            if !e.skipped && e.instr.is_store() {
+                if let (Some(addr), Some(w)) = (e.addr, e.instr.mem_width()) {
+                    self.recovery.add_undo(addr, w);
+                }
+            }
+            self.r_drv.delay.push(e);
+        }
+        self.applied_pending.extend(self.a_fe.out_applied.drain(..));
+        for c in self.a_fe.out_commits.drain(..) {
+            self.r_drv.delay.push_commit(c);
+        }
+
+        // Advance the R-stream.
+        if !self.r_core.halted() {
+            let retired = self.r_core.cycle(&mut self.r_drv);
+            if let Some(checker) = &mut self.online_check {
+                for rec in &retired {
+                    let want = checker
+                        .step(&self.program)
+                        .expect("online checker follows a valid program");
+                    assert_eq!(
+                        (rec.pc, rec.dest, rec.mem, rec.taken, rec.next_pc),
+                        (want.pc, want.dest, want.mem, want.taken, want.next_pc),
+                        "R-stream diverged from the online functional checker at                          seq {} (simulator bug)",
+                        want.seq,
+                    );
+                }
+            }
+            if let Some(last) = retired.last() {
+                self.last_r_retired = Some(*last);
+                self.last_r_progress = self.cycles;
+            }
+        }
+
+        // Route R-stream store events to the recovery controller.
+        for (a, w) in self.r_drv.out_undo_remove.drain(..) {
+            self.recovery.remove_undo(a, w);
+        }
+        for (a, w) in self.r_drv.out_do_add.drain(..) {
+            self.recovery.add_do(a, w);
+        }
+
+        // IR-detector outputs: verify the A-stream's applied removals and
+        // train the IR-predictor.
+        for out in self.r_drv.detector.drain() {
+            if let Some(c) = self.r_drv.delay.pop_commit() {
+                if c.used_vec & !out.info.ir_vec != 0 {
+                    // The A-stream removed something the detector says was
+                    // effectual: early IR-misprediction detection.
+                    self.r_drv.flag(IrMispKind::VecMismatch { trace_start: out.id.start_pc });
+                } else {
+                    for &(slot, addr, w) in &out.stores {
+                        if (c.used_vec >> slot) & 1 == 1 {
+                            self.recovery.remove_do(addr, w);
+                        }
+                    }
+                    if c.used_vec != 0 {
+                        if let Some(pos) =
+                            self.applied_pending.iter().position(|(_, id)| *id == c.id)
+                        {
+                            self.applied_pending.remove(pos);
+                        }
+                    }
+                }
+            }
+            let key = self.observe_hist.context_hash();
+            self.a_fe.ir_table.observe(key, out.id, out.info);
+            self.observe_hist.push(out.id);
+        }
+        if self.applied_pending.len() > 4096 {
+            // Leaked entries from truncated reduced traces; the list is
+            // only a recovery-time penalty hint, so trimming is safe.
+            self.applied_pending.drain(..2048);
+        }
+
+        if self.r_drv.ir_misp.is_some() {
+            self.recover();
+        }
+
+        assert!(
+            self.cycles - self.last_r_progress < HARNESS_WATCHDOG,
+            "slipstream wedged: no R-stream retirement since cycle {} (now {}; \
+             delay buffer {} entries, A halted {}, A pc-state {:?})",
+            self.last_r_progress,
+            self.cycles,
+            self.r_drv.delay.len(),
+            self.a_core.halted(),
+            self.last_r_retired.map(|r| r.pc),
+        );
+    }
+
+    /// IR-misprediction recovery (paper §2.3): flush both pipelines,
+    /// repair the A-stream context from the R-stream context, restart both
+    /// streams at the R-stream's precise point, and charge the recovery
+    /// pipeline latency.
+    fn recover(&mut self) {
+        let kind = self.r_drv.ir_misp.expect("called only when flagged");
+        self.misp_log.push((kind, self.cycles));
+        let restart = self
+            .last_r_retired
+            .map(|r| r.next_pc)
+            .unwrap_or_else(|| self.program.entry());
+
+        let latency = self
+            .recovery
+            .latency(self.cfg.recovery_startup, self.cfg.restores_per_cycle);
+        let outcome = self.recovery.recover(self.a_core.mem_mut(), self.r_core.mem());
+
+        self.a_core.flush();
+        let r_regs = *self.r_core.arch_regs();
+        self.a_core.set_regs(&r_regs);
+        self.r_core.flush();
+
+        self.a_fe.reset_to(restart);
+        for (key, _) in self.applied_pending.drain(..) {
+            self.a_fe.ir_table.penalize(key);
+        }
+        self.r_drv.reset_for_recovery();
+
+        let a_resume = self.a_core.now() + latency;
+        self.a_core.stall_fetch_until(a_resume);
+        let r_resume = self.r_core.now() + latency;
+        self.r_core.stall_fetch_until(r_resume);
+
+        self.ir_misps += 1;
+        self.penalty_sum += latency;
+        self.mem_restored_sum += outcome.mem_restored;
+
+        if self.strict {
+            assert_eq!(self.a_core.arch_regs(), self.r_core.arch_regs());
+            if let Some(addr) = self.a_core.mem().first_difference(self.r_core.mem()) {
+                panic!(
+                    "post-recovery divergence: A and R memories differ at {addr:#x} \
+                     (A={:#x}, R={:#x})",
+                    self.a_core.mem().load_word(addr & !7),
+                    self.r_core.mem().load_word(addr & !7),
+                );
+            }
+        }
+    }
+
+    /// Runs until the program halts or `max_cycles` elapse. Returns `true`
+    /// if the program completed.
+    pub fn run(&mut self, max_cycles: u64) -> bool {
+        while !self.halted() && self.cycles < max_cycles {
+            self.step();
+        }
+        self.halted()
+    }
+
+    /// End-of-run statistics.
+    pub fn stats(&self) -> SlipstreamStats {
+        let r = *self.r_core.stats();
+        let a = *self.a_core.stats();
+        let skipped: u64 = self.a_fe.skip_counts.values().sum();
+        let mut by_reason: Vec<(Reason, u64)> = self
+            .a_fe
+            .skip_counts
+            .iter()
+            .map(|(&bits, &n)| (Reason::from_bits(bits), n))
+            .collect();
+        by_reason.sort_by_key(|&(r, _)| r.bits());
+        let kilo = |n: u64| {
+            if r.retired == 0 {
+                0.0
+            } else {
+                1000.0 * n as f64 / r.retired as f64
+            }
+        };
+        SlipstreamStats {
+            cycles: self.cycles,
+            r_retired: r.retired,
+            a_retired: a.retired,
+            ipc: if self.cycles == 0 { 0.0 } else { r.retired as f64 / self.cycles as f64 },
+            skipped,
+            skipped_by_reason: by_reason,
+            removal_fraction: if r.retired == 0 {
+                0.0
+            } else {
+                skipped as f64 / r.retired as f64
+            },
+            ir_mispredictions: self.ir_misps,
+            ir_misp_per_kilo: kilo(self.ir_misps),
+            avg_ir_penalty: if self.ir_misps == 0 {
+                0.0
+            } else {
+                self.penalty_sum as f64 / self.ir_misps as f64
+            },
+            branch_misp_per_kilo: kilo(a.branch_mispredicts),
+            mem_restored: self.mem_restored_sum,
+            value_hints: self.r_drv.value_hints,
+            a_core: a,
+            r_core: r,
+            front_end: self.a_fe.stats,
+            halted: self.halted(),
+        }
+    }
+
+    /// The processor's configuration.
+    pub fn config(&self) -> &SlipstreamConfig {
+        &self.cfg
+    }
+
+    /// Debug view: committed A-stream traces by (start_pc, len).
+    pub fn commit_histogram(&self) -> &std::collections::HashMap<(u64, u8), u64> {
+        &self.a_fe.commit_histogram
+    }
+}

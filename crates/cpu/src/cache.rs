@@ -1,0 +1,179 @@
+/// Geometry and miss penalty of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Set associativity.
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Cycles to fill a missing line.
+    pub miss_penalty: u64,
+}
+
+/// A set-associative, LRU, tag-only cache timing model.
+///
+/// Only hit/miss behaviour is modelled — data always comes from the
+/// simulator's memory image. `access` probes and updates LRU/fills in one
+/// step (misses allocate, i.e. write-allocate for stores).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[s]` holds up to `assoc` tags, most-recently-used last.
+    sets: Vec<Vec<u64>>,
+    line_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero/non-power-of-two sizes).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes > 0);
+        assert!(cfg.assoc > 0);
+        let lines = cfg.bytes / cfg.line_bytes;
+        assert!(lines % cfg.assoc == 0, "capacity must divide evenly into sets");
+        let num_sets = lines / cfg.assoc;
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.assoc); num_sets],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Checks residency of the line containing `addr` without updating LRU
+    /// state or filling on a miss (used to test MSHR availability before
+    /// committing to an access).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set_idx = (line & self.set_mask) as usize;
+        self.sets[set_idx].iter().any(|&t| t == line)
+    }
+
+    /// Probes the line containing `addr`; returns `true` on a hit. A miss
+    /// fills the line (evicting LRU) and counts against the miss counter.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set_idx = (line & self.set_mask) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.push(tag); // move to MRU
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.cfg.assoc {
+                set.remove(0); // evict LRU
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates all lines but keeps the statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 16B lines = 128 B
+        Cache::new(CacheConfig { bytes: 128, assoc: 2, line_bytes: 16, miss_penalty: 10 })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x10f)); // same line
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        let mut c = small();
+        // Three lines mapping to the same set (stride = sets * line = 64).
+        c.access(0x000);
+        c.access(0x040);
+        c.access(0x000); // touch A: LRU is now B (0x040)
+        c.access(0x080); // evicts B
+        assert!(c.access(0x000), "A must still be resident");
+        assert!(!c.access(0x040), "B must have been evicted");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = small();
+        c.access(0x00);
+        c.access(0x10);
+        c.access(0x20);
+        c.access(0x30);
+        assert!(c.access(0x00));
+        assert!(c.access(0x10));
+        assert!(c.access(0x20));
+        assert!(c.access(0x30));
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.access(0x100);
+        c.flush();
+        assert!(!c.access(0x100));
+    }
+
+    #[test]
+    fn paper_icache_geometry_is_accepted() {
+        let c = Cache::new(CacheConfig {
+            bytes: 64 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            miss_penalty: 12,
+        });
+        assert_eq!(c.config().bytes / c.config().line_bytes, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn degenerate_geometry_rejected() {
+        let _ = Cache::new(CacheConfig { bytes: 96, assoc: 1, line_bytes: 16, miss_penalty: 1 });
+    }
+}

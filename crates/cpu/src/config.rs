@@ -1,0 +1,136 @@
+use crate::cache::CacheConfig;
+
+/// Full configuration of one superscalar core, mirroring the paper's
+/// Table 2 ("Microarchitecture configuration").
+///
+/// [`CoreConfig::ss_64x4`] is the paper's base processor — the building
+/// block of both the SS(64x4) baseline and each half of the CMP(2x64x4)
+/// slipstream processor — and [`CoreConfig::ss_128x8`] is the doubled
+/// processor of Figure 7.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Maximum sequential instruction slots fetched per cycle (paper: a
+    /// full 16-instruction cache block via 2-way interleaving, past
+    /// multiple not-taken branches).
+    pub fetch_width: usize,
+    /// Fetch queue capacity (decouples fetch from dispatch).
+    pub fetch_queue: usize,
+    /// Dispatch/issue/retire bandwidth (paper: 4-way for the base core).
+    pub width: usize,
+    /// Reorder buffer entries (paper: 64 for the base core).
+    pub rob_size: usize,
+    /// Store queue entries.
+    pub store_queue: usize,
+    /// Instruction cache geometry and miss penalty (paper: 64 KB, 4-way,
+    /// LRU, 16-instruction lines, 12-cycle miss penalty).
+    pub icache: CacheConfig,
+    /// Data cache geometry and miss penalty (paper: 64 KB, 4-way, LRU,
+    /// 64-byte lines, 14-cycle miss penalty).
+    pub dcache: CacheConfig,
+    /// Integer ALU latency in cycles (paper: 1).
+    pub alu_latency: u64,
+    /// Multiply latency (MIPS R10000: 3).
+    pub mul_latency: u64,
+    /// Divide latency (MIPS R10000: ~12 for 32-bit).
+    pub div_latency: u64,
+    /// Address generation latency for loads/stores (paper: 1).
+    pub agen_latency: u64,
+    /// Cache access latency on a hit (paper: 2).
+    pub mem_latency: u64,
+    /// Extra cycles between a mispredicted branch resolving and the first
+    /// corrected fetch (redirect/refill bubble).
+    pub redirect_penalty: u64,
+    /// Outstanding data-cache misses supported concurrently (MSHRs); a
+    /// load that misses while all are busy waits to issue.
+    pub mshr_count: usize,
+    /// Issue-queue capacity: dispatched-but-unissued instructions the
+    /// scheduler can hold. When operand-waiting instructions fill it,
+    /// dispatch stalls even though the reorder buffer has space — the
+    /// mechanism that makes dependence chains and load latencies visible
+    /// in IPC (and that the R-stream's value predictions bypass).
+    pub iq_size: usize,
+}
+
+impl CoreConfig {
+    /// The paper's base 4-way, 64-entry-ROB superscalar core.
+    pub fn ss_64x4() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 16,
+            fetch_queue: 32,
+            width: 4,
+            rob_size: 64,
+            store_queue: 32,
+            icache: CacheConfig {
+                bytes: 64 * 1024,
+                assoc: 4,
+                line_bytes: 16 * 4, // 16 instructions
+                miss_penalty: 12,
+            },
+            dcache: CacheConfig {
+                bytes: 64 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                miss_penalty: 14,
+            },
+            alu_latency: 1,
+            mul_latency: 3,
+            div_latency: 12,
+            agen_latency: 1,
+            mem_latency: 2,
+            redirect_penalty: 2,
+            mshr_count: 8,
+            iq_size: 16,
+        }
+    }
+
+    /// The doubled core of Figure 7: 8-way, 128-entry ROB, same caches.
+    pub fn ss_128x8() -> CoreConfig {
+        CoreConfig {
+            width: 8,
+            rob_size: 128,
+            store_queue: 64,
+            iq_size: 32,
+            ..CoreConfig::ss_64x4()
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::ss_64x4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pin the defaults to the paper's Table 2 so config drift is caught.
+    #[test]
+    fn config_matches_paper_table2() {
+        let c = CoreConfig::ss_64x4();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.rob_size, 64);
+        assert_eq!(c.icache.bytes, 64 * 1024);
+        assert_eq!(c.icache.assoc, 4);
+        assert_eq!(c.icache.line_bytes, 64); // 16 instructions x 4 bytes
+        assert_eq!(c.icache.miss_penalty, 12);
+        assert_eq!(c.dcache.bytes, 64 * 1024);
+        assert_eq!(c.dcache.assoc, 4);
+        assert_eq!(c.dcache.line_bytes, 64);
+        assert_eq!(c.dcache.miss_penalty, 14);
+        assert_eq!(c.alu_latency, 1);
+        assert_eq!(c.mem_latency, 2);
+        assert_eq!(c.fetch_width, 16);
+    }
+
+    #[test]
+    fn doubled_config_matches_figure7_model() {
+        let c = CoreConfig::ss_128x8();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.rob_size, 128);
+        // Caches unchanged between models (paper keeps them fixed).
+        assert_eq!(c.icache, CoreConfig::ss_64x4().icache);
+        assert_eq!(c.dcache, CoreConfig::ss_64x4().dcache);
+    }
+}

@@ -1,0 +1,672 @@
+use std::collections::VecDeque;
+
+use slipstream_isa::{InstrKind, MemEffect, MemRead, MemWidth, Memory, Reg, Retired, NUM_REGS};
+
+use slipstream_isa::ExecOut;
+
+use crate::cache::Cache;
+use crate::config::CoreConfig;
+use crate::driver::{CoreDriver, DispatchHints, FetchItem};
+use crate::stats::CoreStats;
+
+/// A single transient fault to inject: when the dynamic instruction with
+/// dispatch sequence number `seq` executes, bit `bit` of its result is
+/// flipped (destination value, store value, or branch outcome — whichever
+/// the instruction produces). Models the paper's §3 single-fault scenarios:
+/// the wrong value then propagates through the machine exactly as a real
+/// soft error would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Dynamic (dispatch-order) instruction number the fault strikes.
+    pub seq: u64,
+    /// Which bit of the produced value to flip.
+    pub bit: u8,
+}
+
+/// How many cycles the core may go without dispatching or retiring before
+/// [`Core::cycle`] panics — a guard against simulator deadlock bugs. Large
+/// enough that cache-miss pile-ups and delay-buffer stalls never trip it.
+const WATCHDOG_CYCLES: u64 = 1_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct StoreEntry {
+    rob_id: u64,
+    addr: u64,
+    width: MemWidth,
+    value: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    id: u64,
+    meta: u64,
+    rec: Retired,
+    /// Producer ROB ids this entry's sources wait on (timing only).
+    deps: [Option<u64>; 3],
+    issued: bool,
+    complete_cycle: Option<u64>,
+}
+
+/// Speculative (dispatch-time) view of data memory: architectural memory
+/// overlaid with the in-flight store queue, newest store wins per byte.
+struct SpecMem<'a> {
+    mem: &'a Memory,
+    stores: &'a VecDeque<StoreEntry>,
+}
+
+impl MemRead for SpecMem<'_> {
+    fn load(&self, addr: u64, width: MemWidth) -> u64 {
+        let n = width.bytes();
+        let mut out = 0u64;
+        for i in 0..n {
+            let byte_addr = addr.wrapping_add(i);
+            let mut byte = self.mem.load_byte(byte_addr);
+            for st in self.stores.iter() {
+                let w = st.width.bytes();
+                if byte_addr.wrapping_sub(st.addr) < w {
+                    let lane = byte_addr.wrapping_sub(st.addr);
+                    byte = (st.value >> (8 * lane)) as u8;
+                }
+            }
+            out |= (byte as u64) << (8 * i);
+        }
+        out
+    }
+}
+
+/// A cycle-level out-of-order superscalar core.
+///
+/// The pipeline implements the paper's base processor (Table 2): wide
+/// fetch through an interleaved instruction cache, in-order
+/// dispatch into a reorder buffer, dataflow-ordered issue to symmetric
+/// function units, and in-order retirement. Control flow comes entirely
+/// from a [`CoreDriver`] (see that trait for why), and *functional*
+/// execution happens in program order at dispatch against a private
+/// speculative state — the standard execution-driven-simulator structure —
+/// so the core computes real (possibly wrong, in the A-stream's case)
+/// values rather than consulting an oracle.
+///
+/// On a control misprediction the core stops dispatching, discards the
+/// fetch queue, and resumes after the branch resolves plus a redirect
+/// penalty. Since nothing dispatches down a wrong path, the speculative
+/// register state never needs rollback; stores are buffered in the store
+/// queue and only reach memory at retirement.
+pub struct Core {
+    cfg: CoreConfig,
+    /// Dispatch-time register state (speculative down the supplied path).
+    spec_regs: [u64; NUM_REGS],
+    /// Retirement-time register state (the architectural registers).
+    arch_regs: [u64; NUM_REGS],
+    mem: Memory,
+    icache: Cache,
+    dcache: Cache,
+    fetch_queue: VecDeque<FetchItem>,
+    pending_fetch: Option<FetchItem>,
+    fetch_resume_cycle: u64,
+    rob: VecDeque<RobEntry>,
+    rob_base: u64,
+    next_rob_id: u64,
+    store_queue: VecDeque<StoreEntry>,
+    reg_producer: [Option<u64>; NUM_REGS],
+    pending_redirect: Option<u64>,
+    /// Dispatched-but-unissued instructions (issue-queue occupancy).
+    unissued: usize,
+    /// Busy-until cycle of each miss status holding register.
+    mshrs: Vec<u64>,
+    fault: Option<FaultSpec>,
+    halted: bool,
+    now: u64,
+    next_seq: u64,
+    last_progress: u64,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core with `mem` as its private initial memory image.
+    pub fn new(cfg: CoreConfig, mem: Memory) -> Core {
+        let mshrs = vec![0; cfg.mshr_count];
+        Core {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            mshrs,
+            cfg,
+            spec_regs: [0; NUM_REGS],
+            arch_regs: [0; NUM_REGS],
+            mem,
+            fetch_queue: VecDeque::new(),
+            pending_fetch: None,
+            fetch_resume_cycle: 0,
+            rob: VecDeque::new(),
+            rob_base: 0,
+            next_rob_id: 0,
+            store_queue: VecDeque::new(),
+            reg_producer: [None; NUM_REGS],
+            pending_redirect: None,
+            unissued: 0,
+            fault: None,
+            halted: false,
+            now: 0,
+            next_seq: 0,
+            last_progress: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current cycle count.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether `halt` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Timing and event statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The architectural (retired) register file.
+    pub fn arch_regs(&self) -> &[u64; NUM_REGS] {
+        &self.arch_regs
+    }
+
+    /// Reads one architectural register.
+    pub fn arch_reg(&self, r: Reg) -> u64 {
+        self.arch_regs[r.index()]
+    }
+
+    /// The architectural memory image (reflects retired stores only).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable architectural memory — used by the recovery controller to
+    /// repair a corrupted context and by fault injection.
+    ///
+    /// Callers must only use this while the pipeline is flushed (or accept
+    /// that in-flight instructions used the old values).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Number of in-flight (dispatched, unretired) instructions.
+    pub fn in_flight(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Arms a single transient fault (see [`FaultSpec`]). A previously
+    /// armed, not-yet-fired fault is replaced.
+    pub fn arm_fault(&mut self, fault: FaultSpec) {
+        self.fault = Some(fault);
+    }
+
+    /// The next dispatch sequence number (useful for aiming a fault at
+    /// "the Nth instruction from now").
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Overwrites the architectural *and* speculative register file — the
+    /// paper's register-file repair ("the entire register file of the
+    /// R-stream is copied to the A-stream register file"). Call only after
+    /// [`Core::flush`].
+    pub fn set_regs(&mut self, regs: &[u64; NUM_REGS]) {
+        self.arch_regs = *regs;
+        self.arch_regs[0] = 0;
+        self.spec_regs = self.arch_regs;
+    }
+
+    /// Squashes everything in flight: fetch queue, reorder buffer, store
+    /// queue, and pending redirect state. Speculative register state is
+    /// re-synchronized to the architectural state. Also clears a sticky
+    /// `halted` flag (a corrupted A-stream may have "halted" spuriously).
+    pub fn flush(&mut self) {
+        self.fetch_queue.clear();
+        self.pending_fetch = None;
+        self.rob_base = self.next_rob_id;
+        self.rob.clear();
+        self.store_queue.clear();
+        self.reg_producer = [None; NUM_REGS];
+        self.pending_redirect = None;
+        self.unissued = 0;
+        self.spec_regs = self.arch_regs;
+        self.halted = false;
+        self.stats.flushes += 1;
+        self.last_progress = self.now;
+    }
+
+    /// Holds the core idle (no fetch) until `cycle` — used to model the
+    /// recovery-pipeline latency.
+    pub fn stall_fetch_until(&mut self, cycle: u64) {
+        self.fetch_resume_cycle = self.fetch_resume_cycle.max(cycle);
+        self.last_progress = self.last_progress.max(cycle);
+    }
+
+    /// Advances one cycle, returning the instructions retired this cycle
+    /// in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core makes no progress for an implausibly long time
+    /// (an internal deadlock — indicates a simulator bug, not a program
+    /// property).
+    pub fn cycle(&mut self, driver: &mut dyn CoreDriver) -> Vec<Retired> {
+        self.now += 1;
+        self.stats.cycles += 1;
+        // Resolve before retiring so a completing mispredicted branch
+        // redirects the driver even if it also retires this cycle.
+        self.resolve_redirect(driver);
+        let retired = self.retire(driver);
+        self.issue();
+        self.dispatch(driver);
+        self.fetch(driver);
+        if !retired.is_empty() || self.halted {
+            self.last_progress = self.now;
+        }
+        assert!(
+            self.now.saturating_sub(self.last_progress) < WATCHDOG_CYCLES,
+            "core wedged: no progress since cycle {} (now {}; rob {} entries, head {:?})",
+            self.last_progress,
+            self.now,
+            self.rob.len(),
+            self.rob.front().map(|e| e.rec.pc),
+        );
+        retired
+    }
+
+    // ---- retire ---------------------------------------------------------
+
+    fn retire(&mut self, driver: &mut dyn CoreDriver) -> Vec<Retired> {
+        let mut out = Vec::new();
+        let cap = self.cfg.width.min(driver.retire_capacity());
+        while out.len() < cap {
+            let ready = match self.rob.front() {
+                Some(e) => e.complete_cycle.is_some_and(|c| c <= self.now),
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("checked nonempty");
+            self.rob_base = entry.id + 1;
+            // Apply the store to architectural memory.
+            if let Some(m) = entry.rec.mem {
+                if m.is_store {
+                    let st = self
+                        .store_queue
+                        .pop_front()
+                        .expect("a retiring store must be at the store-queue head");
+                    debug_assert_eq!(st.rob_id, entry.id);
+                    self.mem.store(st.addr, st.width, st.value);
+                }
+            }
+            if let Some((d, v)) = entry.rec.dest {
+                self.arch_regs[d.index()] = v;
+            }
+            if matches!(entry.rec.instr.kind(), InstrKind::Halt) {
+                self.halted = true;
+            }
+            self.stats.retired += 1;
+            driver.on_retire(&entry.rec, entry.meta);
+            out.push(entry.rec);
+            if self.halted {
+                break;
+            }
+        }
+        out
+    }
+
+    // ---- redirect resolution -------------------------------------------
+
+    fn resolve_redirect(&mut self, driver: &mut dyn CoreDriver) {
+        let Some(id) = self.pending_redirect else { return };
+        let Some(entry) = self.rob_entry(id) else {
+            // The offending entry already retired (resolution happened at
+            // an earlier cycle boundary); should not happen, but recover.
+            self.pending_redirect = None;
+            return;
+        };
+        if entry.complete_cycle.is_some_and(|c| c <= self.now) {
+            let rec = entry.rec;
+            let meta = entry.meta;
+            self.pending_redirect = None;
+            self.fetch_resume_cycle = self
+                .fetch_resume_cycle
+                .max(self.now + self.cfg.redirect_penalty);
+            driver.on_redirect(&rec, meta);
+        }
+    }
+
+    fn rob_entry(&self, id: u64) -> Option<&RobEntry> {
+        let idx = id.checked_sub(self.rob_base)? as usize;
+        self.rob.get(idx)
+    }
+
+    // ---- issue ----------------------------------------------------------
+
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let base = self.rob_base;
+        // Collect issue decisions first to appease the borrow checker.
+        let mut to_issue: Vec<usize> = Vec::new();
+        for idx in 0..self.rob.len() {
+            if issued >= self.cfg.width {
+                break;
+            }
+            let e = &self.rob[idx];
+            if e.issued {
+                continue;
+            }
+            let deps_ready = e.deps.iter().all(|d| match d {
+                None => true,
+                Some(id) => {
+                    if *id < base {
+                        true // already retired, hence complete
+                    } else {
+                        self.rob[(*id - base) as usize]
+                            .complete_cycle
+                            .is_some_and(|c| c <= self.now)
+                    }
+                }
+            });
+            if deps_ready {
+                to_issue.push(idx);
+                issued += 1;
+            }
+        }
+        for idx in to_issue {
+            let Some(lat) = self.exec_latency(idx) else {
+                // Structural hazard (all MSHRs busy): retry next cycle.
+                continue;
+            };
+            let e = &mut self.rob[idx];
+            e.issued = true;
+            e.complete_cycle = Some(self.now + lat);
+            self.unissued -= 1;
+        }
+    }
+
+    /// Latency of executing the instruction at ROB index `idx`, or `None`
+    /// when a structural hazard (no free MSHR for a missing load) defers
+    /// issue to a later cycle.
+    fn exec_latency(&mut self, idx: usize) -> Option<u64> {
+        let rec = self.rob[idx].rec;
+        Some(match rec.instr.kind() {
+            InstrKind::IntAlu | InstrKind::Branch | InstrKind::Jump => self.cfg.alu_latency,
+            InstrKind::Nop | InstrKind::Halt => self.cfg.alu_latency,
+            InstrKind::Mul => self.cfg.mul_latency,
+            InstrKind::Div => self.cfg.div_latency,
+            InstrKind::Store => {
+                // Stores only need address generation before retirement;
+                // the write happens at retire. Probe the cache now for
+                // allocation statistics (write-allocate).
+                if let Some(m) = rec.mem {
+                    if !self.dcache.access(m.addr) {
+                        self.stats.dcache_misses += 1;
+                    }
+                }
+                self.cfg.agen_latency
+            }
+            InstrKind::Load => {
+                let m = rec.mem.expect("loads carry a memory effect");
+                // Store-to-load forwarding: if an older in-flight store
+                // covers this address, data comes from the store queue at
+                // hit latency.
+                let id = self.rob[idx].id;
+                let forwarded = self
+                    .store_queue
+                    .iter()
+                    .any(|st| st.rob_id < id && overlaps(st, m));
+                if forwarded || self.dcache.probe(m.addr) {
+                    if !forwarded {
+                        self.dcache.access(m.addr); // update LRU
+                    }
+                    self.cfg.agen_latency + self.cfg.mem_latency
+                } else {
+                    // A miss needs a free miss status holding register.
+                    let slot = self.mshrs.iter_mut().find(|b| **b <= self.now)?;
+                    let lat =
+                        self.cfg.agen_latency + self.cfg.mem_latency + self.cfg.dcache.miss_penalty;
+                    *slot = self.now + lat;
+                    self.dcache.access(m.addr); // allocate the line
+                    self.stats.dcache_misses += 1;
+                    lat
+                }
+            }
+        })
+    }
+
+    // ---- dispatch --------------------------------------------------------
+
+    fn dispatch(&mut self, driver: &mut dyn CoreDriver) {
+        if self.pending_redirect.is_some() || self.halted {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.rob.len() >= self.cfg.rob_size {
+                self.stats.rob_full_cycles += 1;
+                break;
+            }
+            if self.unissued >= self.cfg.iq_size {
+                self.stats.iq_full_cycles += 1;
+                break;
+            }
+            let Some(item) = self.fetch_queue.front().copied() else { break };
+            if item.instr.is_store() && self.store_queue.len() >= self.cfg.store_queue {
+                break;
+            }
+            self.fetch_queue.pop_front();
+            let rec = self.execute_functionally(&item);
+            let hints = driver.on_dispatch(&rec, item.meta);
+            let mispredicted = !matches!(item.instr.kind(), InstrKind::Halt)
+                && rec.next_pc != item.pred_npc;
+            self.admit(item, rec, hints);
+            self.stats.dispatched += 1;
+            if rec.taken.is_some() {
+                self.stats.cond_branches += 1;
+                if mispredicted || item.pred_taken != rec.taken {
+                    self.stats.branch_mispredicts += 1;
+                    if std::env::var_os("SLIP_DEBUG_MISP").is_some() {
+                        eprintln!("misp pc {:#x} taken {:?} pred {:?}", rec.pc, rec.taken, item.pred_taken);
+                    }
+                }
+            } else if mispredicted {
+                self.stats.jump_mispredicts += 1;
+                if std::env::var_os("SLIP_DEBUG_MISP").is_some() {
+                    eprintln!("misp pc {:#x} jump to {:#x} pred {:#x}", rec.pc, rec.next_pc, item.pred_npc);
+                }
+            }
+            if mispredicted {
+                // Stop dispatching; everything younger is wrong-path.
+                self.pending_redirect = Some(self.next_rob_id - 1);
+                self.fetch_queue.clear();
+                self.pending_fetch = None;
+                break;
+            }
+            if matches!(item.instr.kind(), InstrKind::Halt) {
+                // Nothing meaningful follows; drop whatever was prefetched.
+                self.fetch_queue.clear();
+                self.pending_fetch = None;
+                break;
+            }
+        }
+    }
+
+    fn execute_functionally(&mut self, item: &FetchItem) -> Retired {
+        let instr = item.instr;
+        let (s1, s2) = instr.src_regs();
+        let v1 = s1.map_or(0, |r| self.spec_regs[r.index()]);
+        let v2 = s2.map_or(0, |r| self.spec_regs[r.index()]);
+        let mut out = {
+            let spec = SpecMem { mem: &self.mem, stores: &self.store_queue };
+            instr.exec(item.pc, v1, v2, &spec)
+        };
+        if self.fault.is_some_and(|f| f.seq == self.next_seq) {
+            let f = self.fault.take().expect("just checked");
+            self.apply_fault(&instr, item.pc, f, &mut out);
+        }
+        let mem = if let Some((addr, width, value)) = out.store {
+            let spec = SpecMem { mem: &self.mem, stores: &self.store_queue };
+            let old = spec.load(addr, width);
+            Some(MemEffect { addr, width, value, old_value: Some(old), is_store: true })
+        } else if let (Some(addr), Some(value)) = (out.addr, out.loaded) {
+            Some(MemEffect {
+                addr,
+                width: instr.mem_width().expect("load has a width"),
+                value,
+                old_value: None,
+                is_store: false,
+            })
+        } else {
+            None
+        };
+        let rec = Retired {
+            seq: self.next_seq,
+            pc: item.pc,
+            instr,
+            src1: s1.map(|r| (r, v1)),
+            src2: s2.map(|r| (r, v2)),
+            dest: out.dest,
+            mem,
+            taken: out.taken,
+            next_pc: out.next_pc,
+        };
+        self.next_seq += 1;
+        rec
+    }
+
+    /// Flips one bit of the instruction's produced value (dest register,
+    /// store data, or branch outcome).
+    fn apply_fault(&mut self, instr: &slipstream_isa::Instr, pc: u64, f: FaultSpec, out: &mut ExecOut) {
+        self.stats.faults_injected += 1;
+        if let Some((d, v)) = out.dest {
+            out.dest = Some((d, v ^ (1u64 << (f.bit & 63))));
+        } else if let Some((a, w, v)) = out.store {
+            let flipped = v ^ (1u64 << (f.bit as u64 % (8 * w.bytes())));
+            out.store = Some((a, w, flipped));
+        } else if let Some(t) = out.taken {
+            out.taken = Some(!t);
+            out.next_pc = if t {
+                pc.wrapping_add(4)
+            } else {
+                instr.static_target().unwrap_or(out.next_pc)
+            };
+        }
+        // Instructions with no visible result (nop, halt, j) absorb the
+        // fault silently — architecturally masked.
+    }
+
+    fn admit(&mut self, item: FetchItem, rec: Retired, hints: DispatchHints) {
+        let id = self.next_rob_id;
+        self.next_rob_id += 1;
+        let (s1, s2) = rec.instr.src_regs();
+        let dep_of = |src: Option<Reg>, predicted: bool, producers: &[Option<u64>; NUM_REGS]| {
+            if predicted {
+                return None;
+            }
+            src.and_then(|r| producers[r.index()])
+        };
+        let mut deps = [
+            dep_of(s1, hints.src1_predicted, &self.reg_producer),
+            dep_of(s2, hints.src2_predicted, &self.reg_producer),
+            None,
+        ];
+        // Memory dependence: a load waits for the youngest older store to
+        // an overlapping address.
+        if let Some(m) = rec.mem {
+            if !m.is_store {
+                deps[2] = self
+                    .store_queue
+                    .iter()
+                    .rev()
+                    .find(|st| overlaps(st, m))
+                    .map(|st| st.rob_id);
+            } else {
+                self.store_queue.push_back(StoreEntry {
+                    rob_id: id,
+                    addr: m.addr,
+                    width: m.width,
+                    value: m.value,
+                });
+            }
+        }
+        if let Some((d, v)) = rec.dest {
+            self.spec_regs[d.index()] = v;
+            self.reg_producer[d.index()] = Some(id);
+        }
+        self.unissued += 1;
+        self.rob.push_back(RobEntry {
+            id,
+            meta: item.meta,
+            rec,
+            deps,
+            issued: false,
+            complete_cycle: None,
+        });
+    }
+
+    // ---- fetch ----------------------------------------------------------
+
+    fn fetch(&mut self, driver: &mut dyn CoreDriver) {
+        if self.pending_redirect.is_some() || self.halted {
+            return;
+        }
+        if self.now < self.fetch_resume_cycle {
+            self.stats.fetch_stall_cycles += 1;
+            return;
+        }
+        let mut slots_used: u32 = 0;
+        loop {
+            let Some(item) = self.pending_fetch.take().or_else(|| driver.next_fetch()) else {
+                break;
+            };
+            if self.fetch_queue.len() >= self.cfg.fetch_queue {
+                self.pending_fetch = Some(item);
+                break;
+            }
+            // A new fetch block cannot start mid-cycle.
+            if slots_used > 0 && item.new_block {
+                self.pending_fetch = Some(item);
+                break;
+            }
+            // Respect per-cycle fetch bandwidth (a single oversized skip
+            // still goes through alone).
+            if slots_used > 0 && slots_used + item.slot_cost > self.cfg.fetch_width as u32 {
+                self.pending_fetch = Some(item);
+                break;
+            }
+            // Instruction cache probe; a miss stalls fetch (the line fills
+            // during the stall).
+            if !self.icache.access(item.pc) {
+                self.stats.icache_misses += 1;
+                self.fetch_resume_cycle = self.now + self.cfg.icache.miss_penalty;
+                self.pending_fetch = Some(item);
+                break;
+            }
+            slots_used += item.slot_cost.max(1);
+            self.fetch_queue.push_back(item);
+            self.stats.fetched += 1;
+            if slots_used >= self.cfg.fetch_width as u32 {
+                break;
+            }
+        }
+        if slots_used > 0 {
+            self.stats.fetch_active_cycles += 1;
+        }
+    }
+}
+
+fn overlaps(st: &StoreEntry, m: MemEffect) -> bool {
+    let a0 = st.addr;
+    let a1 = st.addr + st.width.bytes();
+    let b0 = m.addr;
+    let b1 = m.addr + m.width.bytes();
+    a0 < b1 && b0 < a1
+}

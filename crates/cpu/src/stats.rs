@@ -1,0 +1,81 @@
+/// Event and timing counters for one [`crate::Core`].
+///
+/// These back every measurement in the paper's evaluation: IPC
+/// (`retired`/`cycles`), branch mispredictions per 1000 instructions
+/// (Table 3), and the cache/fetch diagnostics used to sanity-check the
+/// model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions dispatched (program order, no wrong-path).
+    pub dispatched: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Fetch items accepted into the fetch queue.
+    pub fetched: u64,
+    /// Conditional branches dispatched.
+    pub cond_branches: u64,
+    /// Conditional branches whose predicted outcome or target was wrong.
+    pub branch_mispredicts: u64,
+    /// Indirect/unconditional control transfers with a wrong predicted
+    /// target (e.g. cold `jr`).
+    pub jump_mispredicts: u64,
+    /// Instruction-cache line misses.
+    pub icache_misses: u64,
+    /// Data-cache line misses.
+    pub dcache_misses: u64,
+    /// Cycles dispatch was blocked because the reorder buffer was full.
+    pub rob_full_cycles: u64,
+    /// Cycles dispatch was blocked because the issue queue was full.
+    pub iq_full_cycles: u64,
+    /// Cycles fetch was stalled (cache miss fill, redirect penalty,
+    /// external stall).
+    pub fetch_stall_cycles: u64,
+    /// Cycles in which at least one instruction was fetched.
+    pub fetch_active_cycles: u64,
+    /// External pipeline flushes (slipstream recovery events).
+    pub flushes: u64,
+    /// Transient faults injected into execution results.
+    pub faults_injected: u64,
+}
+
+impl CoreStats {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch mispredictions per 1000 retired instructions
+    /// (the paper's Table 3 metric).
+    pub fn branch_mispredicts_per_kilo(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            1000.0 * self.branch_mispredicts as f64 / self.retired as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let s = CoreStats { cycles: 100, retired: 250, branch_mispredicts: 5, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.branch_mispredicts_per_kilo() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.branch_mispredicts_per_kilo(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+use std::collections::HashMap;
+
+use crate::instr::{MemRead, MemWidth};
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse, paged, byte-addressable data memory.
+///
+/// Unmapped bytes read as zero; pages are allocated on first write. The
+/// whole image is cheaply cloneable, which is how "process replication" in
+/// the paper is modelled: the A-stream and R-stream each own a private copy
+/// of the program's memory, and the recovery controller copies individual
+/// locations from one image to the other.
+///
+/// ```
+/// use slipstream_isa::Memory;
+/// let mut mem = Memory::new();
+/// mem.store_word(0x1000, 42);
+/// assert_eq!(mem.load_word(0x1000), 42);
+/// assert_eq!(mem.load_word(0x9999_0000), 0); // unmapped reads are zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory image.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn load_byte(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn store_byte(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads an 8-byte little-endian word. Unaligned access is allowed.
+    pub fn load_word(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.load_byte(addr.wrapping_add(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes an 8-byte little-endian word. Unaligned access is allowed.
+    pub fn store_word(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.store_byte(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads `width` bytes at `addr`, zero-extended.
+    pub fn load(&self, addr: u64, width: MemWidth) -> u64 {
+        match width {
+            MemWidth::Byte => self.load_byte(addr) as u64,
+            MemWidth::Word => self.load_word(addr),
+        }
+    }
+
+    /// Writes the low `width` bytes of `value` at `addr`.
+    pub fn store(&mut self, addr: u64, width: MemWidth, value: u64) {
+        match width {
+            MemWidth::Byte => self.store_byte(addr, value as u8),
+            MemWidth::Word => self.store_word(addr, value),
+        }
+    }
+
+    /// Copies a slice of bytes into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.store_byte(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Number of resident (allocated) pages — a footprint diagnostic.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Compares the word at `addr` in `self` and `other` (used by recovery
+    /// tests to check that a repaired context matches its source).
+    pub fn word_matches(&self, other: &Memory, addr: u64) -> bool {
+        self.load_word(addr) == other.load_word(addr)
+    }
+
+    /// Address of the first byte where the two images differ, scanning the
+    /// union of resident pages (unmapped bytes read as zero). Used by the
+    /// slipstream invariant checks: after recovery the A-stream and
+    /// R-stream images must be identical.
+    pub fn first_difference(&self, other: &Memory) -> Option<u64> {
+        let mut pages: Vec<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for page in pages {
+            let base = page << PAGE_SHIFT;
+            for off in 0..PAGE_SIZE as u64 {
+                let addr = base + off;
+                if self.load_byte(addr) != other.load_byte(addr) {
+                    return Some(addr);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl MemRead for Memory {
+    fn load(&self, addr: u64, width: MemWidth) -> u64 {
+        Memory::load(self, addr, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.load_byte(0), 0);
+        assert_eq!(mem.load_word(0xffff_ffff_0000), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut mem = Memory::new();
+        mem.store_byte(5, 0xab);
+        assert_eq!(mem.load_byte(5), 0xab);
+        assert_eq!(mem.load_byte(6), 0);
+    }
+
+    #[test]
+    fn word_round_trip_little_endian() {
+        let mut mem = Memory::new();
+        mem.store_word(0x100, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.load_word(0x100), 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.load_byte(0x100), 0xef);
+        assert_eq!(mem.load_byte(0x107), 0x01);
+    }
+
+    #[test]
+    fn unaligned_and_page_straddling_word() {
+        let mut mem = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 3; // straddles a page boundary
+        mem.store_word(addr, 0x1122_3344_5566_7788);
+        assert_eq!(mem.load_word(addr), 0x1122_3344_5566_7788);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn width_dispatch() {
+        let mut mem = Memory::new();
+        mem.store(0x10, MemWidth::Word, 0x1_0000_00ff);
+        assert_eq!(mem.load(0x10, MemWidth::Byte), 0xff);
+        mem.store(0x10, MemWidth::Byte, 0xaa);
+        assert_eq!(mem.load(0x10, MemWidth::Word) & 0xff, 0xaa);
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut mem = Memory::new();
+        mem.write_bytes(0x200, &[1, 2, 3, 4]);
+        assert_eq!(mem.load_byte(0x203), 4);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Memory::new();
+        a.store_word(0x40, 7);
+        let mut b = a.clone();
+        b.store_word(0x40, 8);
+        assert_eq!(a.load_word(0x40), 7);
+        assert_eq!(b.load_word(0x40), 8);
+        assert!(!a.word_matches(&b, 0x40));
+        assert!(a.word_matches(&b, 0x48));
+    }
+}

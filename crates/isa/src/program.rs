@@ -1,0 +1,259 @@
+use crate::instr::Instr;
+use crate::mem::Memory;
+
+/// Default base address of the text segment.
+pub(crate) const DEFAULT_TEXT_BASE: u64 = 0x1000;
+
+/// An assembled SSIR program: a read-only text segment plus initialised
+/// data segments.
+///
+/// Instructions occupy 4 bytes of PC space each (there is no binary
+/// encoding — the simulators fetch `Instr` values directly; the paper's
+/// mechanisms never inspect instruction bytes). Text is immutable: SSIR has
+/// no self-modifying code, so the A-stream and R-stream can share one
+/// `Program` while owning private [`Memory`] images for data.
+#[derive(Debug, Clone)]
+pub struct Program {
+    text_base: u64,
+    instrs: Vec<Instr>,
+    data: Vec<(u64, Vec<u8>)>,
+}
+
+impl Program {
+    /// Creates a program from raw parts. Most callers use
+    /// [`crate::assemble`] or [`ProgramBuilder`] instead.
+    pub fn new(text_base: u64, instrs: Vec<Instr>, data: Vec<(u64, Vec<u8>)>) -> Program {
+        Program { text_base, instrs, data }
+    }
+
+    /// Base address of the text segment (also the entry point).
+    pub fn text_base(&self) -> u64 {
+        self.text_base
+    }
+
+    /// Entry-point PC.
+    pub fn entry(&self) -> u64 {
+        self.text_base
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// End of the text segment (one past the last instruction).
+    pub fn text_end(&self) -> u64 {
+        self.text_base + 4 * self.instrs.len() as u64
+    }
+
+    /// The instruction at `pc`, or `None` if `pc` is outside the text
+    /// segment or not 4-byte aligned.
+    pub fn instr_at(&self, pc: u64) -> Option<&Instr> {
+        if pc < self.text_base || (pc - self.text_base) % 4 != 0 {
+            return None;
+        }
+        self.instrs.get(((pc - self.text_base) / 4) as usize)
+    }
+
+    /// All instructions, in text order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Initialised data segments as `(address, bytes)` pairs.
+    pub fn data_segments(&self) -> &[(u64, Vec<u8>)] {
+        &self.data
+    }
+
+    /// Writes the initialised data segments into a memory image.
+    pub fn load_data(&self, mem: &mut Memory) {
+        for (addr, bytes) in &self.data {
+            mem.write_bytes(*addr, bytes);
+        }
+    }
+
+    /// A fresh memory image with this program's data loaded.
+    pub fn initial_memory(&self) -> Memory {
+        let mut mem = Memory::new();
+        self.load_data(&mut mem);
+        mem
+    }
+}
+
+/// Programmatic construction of [`Program`]s, used by workload generators
+/// and tests that don't want to go through assembly text.
+///
+/// ```
+/// use slipstream_isa::{Instr, ProgramBuilder, Reg};
+/// let r1 = Reg::new(1);
+/// let mut b = ProgramBuilder::new();
+/// b.push(Instr::Li { d: r1, imm: 3 });
+/// b.push(Instr::Halt);
+/// let program = b.build();
+/// assert_eq!(program.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    text_base: u64,
+    instrs: Vec<Instr>,
+    data: Vec<(u64, Vec<u8>)>,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        ProgramBuilder::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with the default text base (`0x1000`).
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            text_base: DEFAULT_TEXT_BASE,
+            instrs: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Overrides the text base address.
+    pub fn text_base(&mut self, base: u64) -> &mut Self {
+        self.text_base = base;
+        self
+    }
+
+    /// The PC the *next* pushed instruction will occupy — handy for
+    /// computing branch targets while emitting code.
+    pub fn here(&self) -> u64 {
+        self.text_base + 4 * self.instrs.len() as u64
+    }
+
+    /// Appends one instruction, returning its PC.
+    pub fn push(&mut self, instr: Instr) -> u64 {
+        let pc = self.here();
+        self.instrs.push(instr);
+        pc
+    }
+
+    /// Appends many instructions.
+    pub fn extend<I: IntoIterator<Item = Instr>>(&mut self, instrs: I) -> &mut Self {
+        self.instrs.extend(instrs);
+        self
+    }
+
+    /// Replaces the instruction at `pc` (used to backpatch forward branch
+    /// targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` does not name an already-pushed instruction.
+    pub fn patch(&mut self, pc: u64, instr: Instr) {
+        let idx = pc
+            .checked_sub(self.text_base)
+            .map(|off| (off / 4) as usize)
+            .filter(|&i| i < self.instrs.len())
+            .unwrap_or_else(|| panic!("patch target {pc:#x} is not an emitted instruction"));
+        self.instrs[idx] = instr;
+    }
+
+    /// Adds an initialised data segment.
+    pub fn data(&mut self, addr: u64, bytes: Vec<u8>) -> &mut Self {
+        self.data.push((addr, bytes));
+        self
+    }
+
+    /// Adds a data segment of 8-byte little-endian words.
+    pub fn data_words(&mut self, addr: u64, words: &[u64]) -> &mut Self {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data(addr, bytes)
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Program {
+        Program::new(self.text_base, self.instrs, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn nop_program(n: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..n {
+            b.push(Instr::Nop);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn instr_at_bounds_and_alignment() {
+        let p = nop_program(3);
+        assert!(p.instr_at(0x1000).is_some());
+        assert!(p.instr_at(0x1008).is_some());
+        assert!(p.instr_at(0x100c).is_none()); // past the end
+        assert!(p.instr_at(0x1002).is_none()); // misaligned
+        assert!(p.instr_at(0xff0).is_none()); // below base
+        assert_eq!(p.text_end(), 0x100c);
+    }
+
+    #[test]
+    fn builder_here_tracks_pcs() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.here(), 0x1000);
+        let pc0 = b.push(Instr::Nop);
+        assert_eq!(pc0, 0x1000);
+        assert_eq!(b.here(), 0x1004);
+    }
+
+    #[test]
+    fn builder_patch_backpatches() {
+        let mut b = ProgramBuilder::new();
+        let hole = b.push(Instr::Nop);
+        b.push(Instr::Halt);
+        let target = b.here();
+        b.patch(hole, Instr::J { target });
+        let p = b.build();
+        assert_eq!(p.instr_at(hole), Some(&Instr::J { target }));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an emitted instruction")]
+    fn patch_rejects_unknown_pc() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Nop);
+        b.patch(0x9999, Instr::Nop);
+    }
+
+    #[test]
+    fn data_segments_load_into_memory() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Halt);
+        b.data_words(0x10_0000, &[11, 22]);
+        b.data(0x20_0000, vec![0xaa]);
+        let p = b.build();
+        let mem = p.initial_memory();
+        assert_eq!(mem.load_word(0x10_0000), 11);
+        assert_eq!(mem.load_word(0x10_0008), 22);
+        assert_eq!(mem.load_byte(0x20_0000), 0xaa);
+    }
+
+    #[test]
+    fn custom_text_base() {
+        let mut b = ProgramBuilder::new();
+        b.text_base(0x4000);
+        b.push(Instr::Li { d: Reg::new(1), imm: 1 });
+        let p = b.build();
+        assert_eq!(p.entry(), 0x4000);
+        assert!(p.instr_at(0x4000).is_some());
+        assert!(p.instr_at(0x1000).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Number of architectural registers (matches the paper's 64 general
+/// purpose registers; see Table 2's recovery arithmetic).
+pub const NUM_REGS: usize = 64;
+
+/// An architectural register name, `r0`..`r63`.
+///
+/// `r0` is hardwired to zero: writes to it are discarded and reads always
+/// return `0`, exactly like MIPS `$zero`. This gives programs a free
+/// always-zero source and gives tests a convenient sink.
+///
+/// ```
+/// use slipstream_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range (0..{NUM_REGS})"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register name without bounds checking.
+    ///
+    /// Returns `None` if `index >= 64`; this is the non-panicking sibling of
+    /// [`Reg::new`].
+    pub fn try_new(index: u8) -> Option<Reg> {
+        ((index as usize) < NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The register's index, `0..64`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `r0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(64);
+    }
+
+    #[test]
+    fn try_new_matches_new() {
+        assert_eq!(Reg::try_new(63), Some(Reg::new(63)));
+        assert_eq!(Reg::try_new(64), None);
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::ZERO, Reg::new(0));
+    }
+
+    #[test]
+    fn display_formats_as_rn() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+    }
+}

@@ -1,0 +1,231 @@
+//! Conventional single-branch prediction components.
+//!
+//! The slipstream models in the paper drive fetch with the trace predictor,
+//! but every constituent processor still *has* a conventional branch
+//! predictor (Figure 1 shows it disconnected by a switch). These
+//! implementations back the ablation experiments that compare trace-based
+//! and conventional prediction, and serve as baselines in tests.
+
+/// A table of 2-bit saturating counters indexed by PC (bimodal predictor).
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<u8>,
+    mask: usize,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `2^bits` counters, initialised weakly
+    /// not-taken.
+    pub fn new(bits: u32) -> Bimodal {
+        Bimodal { table: vec![1; 1 << bits], mask: (1 << bits) - 1 }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+
+    /// Predicts the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.idx(pc)] >= 2
+    }
+
+    /// Trains with the resolved outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.idx(pc);
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// Gshare: 2-bit counters indexed by `PC ⊕ global history`.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<u8>,
+    mask: usize,
+    history: u64,
+    hist_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `2^bits` counters and `hist_bits` of
+    /// global history (`hist_bits ≤ bits` is typical).
+    pub fn new(bits: u32, hist_bits: u32) -> Gshare {
+        Gshare {
+            table: vec![1; 1 << bits],
+            mask: (1 << bits) - 1,
+            history: 0,
+            hist_bits,
+        }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) as usize) & self.mask
+    }
+
+    /// Predicts the branch at `pc` under the current global history.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.idx(pc)] >= 2
+    }
+
+    /// Trains with the resolved outcome and shifts it into the history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.idx(pc);
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u64) & ((1 << self.hist_bits) - 1);
+    }
+}
+
+/// A tagged branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (pc, target)
+    mask: usize,
+}
+
+impl Btb {
+    /// Creates a BTB with `2^bits` entries.
+    pub fn new(bits: u32) -> Btb {
+        Btb { entries: vec![None; 1 << bits], mask: (1 << bits) - 1 }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+
+    /// The cached target for the control instruction at `pc`, if present.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.idx(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records a resolved target.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.idx(pc);
+        self.entries[i] = Some((pc, target));
+    }
+}
+
+/// A bounded return-address stack for `jal`/`jr` pairs.
+#[derive(Debug, Clone)]
+pub struct ReturnStack {
+    stack: Vec<u64>,
+    cap: usize,
+}
+
+impl ReturnStack {
+    /// Creates a stack holding up to `cap` return addresses.
+    pub fn new(cap: usize) -> ReturnStack {
+        ReturnStack { stack: Vec::with_capacity(cap), cap }
+    }
+
+    /// Pushes a return address (on `jal`); the oldest entry is dropped when
+    /// full.
+    pub fn push(&mut self, ret: u64) {
+        if self.stack.len() == self.cap {
+            self.stack.remove(0);
+        }
+        self.stack.push(ret);
+    }
+
+    /// Pops the predicted return address (on `jr`).
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_a_bias() {
+        let mut p = Bimodal::new(10);
+        for _ in 0..4 {
+            p.update(0x1000, true);
+        }
+        assert!(p.predict(0x1000));
+        for _ in 0..4 {
+            p.update(0x1000, false);
+        }
+        assert!(!p.predict(0x1000));
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut p = Bimodal::new(10);
+        let mut correct = 0;
+        let mut taken = true;
+        for _ in 0..100 {
+            if p.predict(0x1000) == taken {
+                correct += 1;
+            }
+            p.update(0x1000, taken);
+            taken = !taken;
+        }
+        assert!(correct < 60, "bimodal should do badly on alternation, got {correct}");
+    }
+
+    #[test]
+    fn gshare_learns_alternation_via_history() {
+        let mut p = Gshare::new(12, 8);
+        let mut taken = true;
+        // warm up
+        for _ in 0..64 {
+            p.update(0x1000, taken);
+            taken = !taken;
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            if p.predict(0x1000) == taken {
+                correct += 1;
+            }
+            p.update(0x1000, taken);
+            taken = !taken;
+        }
+        assert!(correct > 95, "gshare should learn alternation, got {correct}");
+    }
+
+    #[test]
+    fn btb_round_trip_and_tag_check() {
+        let mut btb = Btb::new(8);
+        assert_eq!(btb.lookup(0x1000), None);
+        btb.update(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+        // A different PC aliasing the same set must miss on the tag.
+        let alias = 0x1000 + (1u64 << (8 + 2));
+        assert_eq!(btb.lookup(alias), None);
+    }
+
+    #[test]
+    fn return_stack_lifo_and_overflow() {
+        let mut ras = ReturnStack::new(2);
+        ras.push(0x10);
+        ras.push(0x20);
+        ras.push(0x30); // evicts 0x10
+        assert_eq!(ras.pop(), Some(0x30));
+        assert_eq!(ras.pop(), Some(0x20));
+        assert_eq!(ras.pop(), None);
+        assert!(ras.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+/// A resetting confidence counter (Jacobsen, Rotenberg, Smith, MICRO-29).
+///
+/// The counter increments on every correct event and *resets to zero* on
+/// any incorrect event; confidence is asserted only once the counter
+/// reaches its threshold. The paper attaches one of these to every
+/// IR-predictor entry with a threshold of 32: a trace's instruction-removal
+/// information is only acted upon after the IR-detector has produced the
+/// same `{trace-id, ir-vec}` pair 32 times in a row, which is what drives
+/// the measured IR-misprediction rate below 0.05 per 1000 instructions.
+///
+/// ```
+/// use slipstream_predict::ResettingCounter;
+/// let mut c = ResettingCounter::new(3);
+/// c.hit(); c.hit();
+/// assert!(!c.confident());
+/// c.hit();
+/// assert!(c.confident());
+/// c.miss(); // any disagreement resets
+/// assert!(!c.confident());
+/// assert_eq!(c.value(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResettingCounter {
+    value: u32,
+    threshold: u32,
+}
+
+impl ResettingCounter {
+    /// Creates a counter that asserts confidence at `threshold` consecutive
+    /// hits. A threshold of 0 is always confident.
+    pub fn new(threshold: u32) -> ResettingCounter {
+        ResettingCounter { value: 0, threshold }
+    }
+
+    /// Records a correct event (saturates at the threshold).
+    pub fn hit(&mut self) {
+        self.value = self.value.saturating_add(1).min(self.threshold.max(1));
+    }
+
+    /// Records an incorrect event: resets to zero.
+    pub fn miss(&mut self) {
+        self.value = 0;
+    }
+
+    /// Whether the confidence threshold has been reached.
+    pub fn confident(&self) -> bool {
+        self.value >= self.threshold
+    }
+
+    /// Current counter value.
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaches_confidence_after_threshold_hits() {
+        let mut c = ResettingCounter::new(32);
+        for _ in 0..31 {
+            c.hit();
+            assert!(!c.confident());
+        }
+        c.hit();
+        assert!(c.confident());
+    }
+
+    #[test]
+    fn miss_resets_to_zero() {
+        let mut c = ResettingCounter::new(4);
+        for _ in 0..4 {
+            c.hit();
+        }
+        assert!(c.confident());
+        c.miss();
+        assert_eq!(c.value(), 0);
+        assert!(!c.confident());
+        // Must earn all 4 again.
+        c.hit();
+        c.hit();
+        c.hit();
+        assert!(!c.confident());
+        c.hit();
+        assert!(c.confident());
+    }
+
+    #[test]
+    fn zero_threshold_is_always_confident() {
+        let c = ResettingCounter::new(0);
+        assert!(c.confident());
+    }
+
+    #[test]
+    fn value_saturates_at_threshold() {
+        let mut c = ResettingCounter::new(2);
+        for _ in 0..10 {
+            c.hit();
+        }
+        assert_eq!(c.value(), 2);
+    }
+}

@@ -1,0 +1,327 @@
+use slipstream_isa::{Instr, InstrKind, Program};
+
+/// Maximum trace length in instructions (the paper uses length-32 traces
+/// throughout: IR-predictor entries, R-DFG size, ir-vec width).
+pub const MAX_TRACE_LEN: usize = 32;
+
+/// A trace identifier: start PC plus the taken/not-taken outcomes of the
+/// embedded conditional branches, exactly as in the paper's §2.1.1
+/// ("a trace is uniquely identified by a starting PC and branch outcomes
+/// indicating the path through the trace").
+///
+/// Given the program, a `TraceId` deterministically denotes a sequence of
+/// up to 32 dynamic instructions (see [`materialize`]). Traces end early at
+/// indirect jumps (`jr`) and `halt`, whose successors a trace id cannot
+/// encode; the successor is captured by the next trace's start PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceId {
+    /// PC of the first instruction in the trace.
+    pub start_pc: u64,
+    /// Embedded conditional-branch outcomes, least-significant bit first
+    /// (bit i = outcome of the i-th conditional branch; 1 = taken).
+    pub outcomes: u32,
+    /// Number of embedded conditional branches (≤ 32).
+    pub branch_count: u8,
+    /// Trace length in instructions (1..=32).
+    pub len: u8,
+}
+
+impl TraceId {
+    /// A stable 64-bit hash of the id, used to build predictor path
+    /// histories and table indices.
+    pub fn hash64(&self) -> u64 {
+        // SplitMix64-style mixing of the three components.
+        let mut z = self
+            .start_pc
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((self.outcomes as u64) << 8)
+            .wrapping_add(self.branch_count as u64)
+            .wrapping_add((self.len as u64) << 40);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The outcome of the `i`-th embedded conditional branch.
+    pub fn outcome(&self, i: usize) -> bool {
+        (self.outcomes >> i) & 1 == 1
+    }
+}
+
+/// Whether `instr` must terminate the trace it appears in (its successor
+/// cannot be encoded in a trace id, or the program ends).
+fn ends_trace(instr: &Instr) -> bool {
+    matches!(instr.kind(), InstrKind::Halt) || matches!(instr, Instr::Jr { .. })
+}
+
+/// Incrementally builds [`TraceId`]s from a retired instruction stream.
+///
+/// All components that need a trace view of the dynamic stream (trace
+/// predictor update, IR-detector scope, statistics) share this single
+/// selection policy, which is what the paper calls a "consistent (static)
+/// trace selection policy" — a prerequisite for accurate trace prediction.
+///
+/// ```
+/// use slipstream_predict::TraceBuilder;
+/// use slipstream_isa::{assemble, ArchState};
+/// let p = assemble("li r1, 40\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt")?;
+/// let mut st = ArchState::new(&p);
+/// let mut tb = TraceBuilder::new();
+/// let mut traces = Vec::new();
+/// for rec in st.run(&p, 1_000)? {
+///     if let Some(t) = tb.push(rec.pc, &rec.instr, rec.taken) {
+///         traces.push(t);
+///     }
+/// }
+/// if let Some(t) = tb.flush() { traces.push(t); }
+/// assert_eq!(traces.iter().map(|t| t.len as u64).sum::<u64>(), st.retired());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    current: Option<TraceId>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Adds one retired instruction; returns a completed trace id when this
+    /// instruction fills or terminates the current trace.
+    ///
+    /// `taken` must be `Some` exactly for conditional branches.
+    pub fn push(&mut self, pc: u64, instr: &Instr, taken: Option<bool>) -> Option<TraceId> {
+        let cur = self.current.get_or_insert(TraceId {
+            start_pc: pc,
+            outcomes: 0,
+            branch_count: 0,
+            len: 0,
+        });
+        if let Some(t) = taken {
+            if t {
+                cur.outcomes |= 1 << cur.branch_count;
+            }
+            cur.branch_count += 1;
+        }
+        cur.len += 1;
+        if cur.len as usize >= MAX_TRACE_LEN || ends_trace(instr) {
+            return self.current.take();
+        }
+        None
+    }
+
+    /// Completes and returns the in-progress partial trace, if any.
+    pub fn flush(&mut self) -> Option<TraceId> {
+        self.current.take()
+    }
+
+    /// Length of the in-progress trace (0 if none).
+    pub fn pending_len(&self) -> usize {
+        self.current.map_or(0, |t| t.len as usize)
+    }
+}
+
+/// A trace id resolved against the program text: the concrete dynamic
+/// instruction sequence it denotes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializedTrace {
+    /// The id this was materialized from.
+    pub id: TraceId,
+    /// PCs of the instructions in the trace, in dynamic order.
+    pub pcs: Vec<u64>,
+    /// PC of the instruction after the trace, or `None` when the trace ends
+    /// at an indirect jump (`jr`) or `halt` — the successor then comes from
+    /// the next trace prediction.
+    pub next_pc: Option<u64>,
+}
+
+/// Walks the program text along `id`'s path, recovering the instruction
+/// sequence the id denotes.
+///
+/// Returns `None` if the id is inconsistent with the program (walks off the
+/// text segment, or runs out of branch-outcome bits before the trace ends)
+/// — a stale or aliased predictor entry. Callers treat that as "no
+/// prediction".
+pub fn materialize(program: &Program, id: TraceId) -> Option<MaterializedTrace> {
+    let mut pcs = Vec::with_capacity(id.len as usize);
+    let mut pc = id.start_pc;
+    let mut branch_idx = 0usize;
+    let mut next_pc = None;
+    for i in 0..id.len {
+        let instr = program.instr_at(pc)?;
+        pcs.push(pc);
+        let fall = pc + 4;
+        let following = match instr {
+            Instr::Beq { target, .. }
+            | Instr::Bne { target, .. }
+            | Instr::Blt { target, .. }
+            | Instr::Bge { target, .. } => {
+                if branch_idx >= id.branch_count as usize {
+                    return None;
+                }
+                let taken = id.outcome(branch_idx);
+                branch_idx += 1;
+                if taken {
+                    *target
+                } else {
+                    fall
+                }
+            }
+            Instr::J { target } | Instr::Jal { target, .. } => *target,
+            Instr::Jr { .. } | Instr::Halt => {
+                // Must be the last instruction of the trace.
+                if i + 1 != id.len {
+                    return None;
+                }
+                break;
+            }
+            _ => fall,
+        };
+        if i + 1 == id.len {
+            next_pc = Some(following);
+        } else {
+            pc = following;
+        }
+    }
+    if pcs.len() != id.len as usize || branch_idx != id.branch_count as usize {
+        return None;
+    }
+    Some(MaterializedTrace { id, pcs, next_pc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_isa::{assemble, ArchState};
+
+    fn traces_of(src: &str, fuel: u64) -> (Vec<TraceId>, slipstream_isa::Program) {
+        let p = assemble(src).unwrap();
+        let mut st = ArchState::new(&p);
+        let mut tb = TraceBuilder::new();
+        let mut out = Vec::new();
+        for rec in st.run(&p, fuel).unwrap() {
+            if let Some(t) = tb.push(rec.pc, &rec.instr, rec.taken) {
+                out.push(t);
+            }
+        }
+        if let Some(t) = tb.flush() {
+            out.push(t);
+        }
+        (out, p)
+    }
+
+    #[test]
+    fn straight_line_code_makes_one_trace() {
+        let (traces, _) = traces_of("li r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt", 100);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].len, 4);
+        assert_eq!(traces[0].branch_count, 0);
+        assert_eq!(traces[0].start_pc, 0x1000);
+    }
+
+    #[test]
+    fn traces_cap_at_32_instructions() {
+        let body = "addi r1, r1, 1\n".repeat(40);
+        let (traces, _) = traces_of(&format!("{body}halt"), 1000);
+        assert_eq!(traces[0].len as usize, MAX_TRACE_LEN);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[1].len, 9); // 8 remaining addi + halt
+    }
+
+    #[test]
+    fn branch_outcomes_recorded_in_order() {
+        // 5-iteration loop: bne taken 4x then not-taken.
+        let (traces, _) = traces_of(
+            "li r1, 5\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt",
+            100,
+        );
+        // Dynamic stream: li, (addi, bne)*5, halt = 12 instrs → 1 trace.
+        assert_eq!(traces.len(), 1);
+        let t = traces[0];
+        assert_eq!(t.len, 12);
+        assert_eq!(t.branch_count, 5);
+        assert_eq!(t.outcomes & 0b11111, 0b01111); // 4 taken then 1 not-taken
+    }
+
+    #[test]
+    fn jr_terminates_a_trace() {
+        let (traces, _) = traces_of(
+            "jal r31, f\nli r2, 2\nhalt\nf:\nli r1, 1\njr r31",
+            100,
+        );
+        // jal, li, jr | li, halt
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].len, 3);
+        assert!(traces[1].start_pc > 0);
+    }
+
+    #[test]
+    fn materialize_round_trips_the_dynamic_stream() {
+        let src = "li r1, 20\nli r3, 0\nloop:\nandi r2, r1, 1\nbeq r2, r0, even\naddi r3, r3, 1\neven:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt";
+        let p = assemble(src).unwrap();
+        let mut st = ArchState::new(&p);
+        let mut tb = TraceBuilder::new();
+        let mut dynamic_pcs = Vec::new();
+        let mut traces = Vec::new();
+        for rec in st.run(&p, 10_000).unwrap() {
+            dynamic_pcs.push(rec.pc);
+            if let Some(t) = tb.push(rec.pc, &rec.instr, rec.taken) {
+                traces.push(t);
+            }
+        }
+        if let Some(t) = tb.flush() {
+            traces.push(t);
+        }
+        let mut rebuilt = Vec::new();
+        for t in traces {
+            let m = materialize(&p, t).expect("constructed traces always materialize");
+            rebuilt.extend(m.pcs);
+        }
+        assert_eq!(rebuilt, dynamic_pcs);
+    }
+
+    #[test]
+    fn materialize_provides_next_pc_for_fallthrough_traces() {
+        let body = "addi r1, r1, 1\n".repeat(40);
+        let (traces, p) = traces_of(&format!("{body}halt"), 1000);
+        let m = materialize(&p, traces[0]).unwrap();
+        assert_eq!(m.next_pc, Some(0x1000 + 32 * 4));
+        let last = materialize(&p, traces[1]).unwrap();
+        assert_eq!(last.next_pc, None); // ends at halt
+    }
+
+    #[test]
+    fn materialize_rejects_inconsistent_ids() {
+        let p = assemble("nop\nhalt").unwrap();
+        // Claims 5 instructions but text has 2 then halt.
+        let bogus = TraceId { start_pc: 0x1000, outcomes: 0, branch_count: 0, len: 5 };
+        assert_eq!(materialize(&p, bogus), None);
+        // Claims a branch where there is none.
+        let bogus2 = TraceId { start_pc: 0x1000, outcomes: 1, branch_count: 1, len: 2 };
+        assert_eq!(materialize(&p, bogus2), None);
+        // Walks off the text segment.
+        let bogus3 = TraceId { start_pc: 0x9000, outcomes: 0, branch_count: 0, len: 1 };
+        assert_eq!(materialize(&p, bogus3), None);
+    }
+
+    #[test]
+    fn hash_is_stable_and_distinguishes() {
+        let a = TraceId { start_pc: 0x1000, outcomes: 0b101, branch_count: 3, len: 10 };
+        let b = TraceId { start_pc: 0x1000, outcomes: 0b111, branch_count: 3, len: 10 };
+        assert_eq!(a.hash64(), a.hash64());
+        assert_ne!(a.hash64(), b.hash64());
+    }
+
+    #[test]
+    fn pending_len_tracks_partial_trace() {
+        let mut tb = TraceBuilder::new();
+        assert_eq!(tb.pending_len(), 0);
+        tb.push(0x1000, &Instr::Nop, None);
+        tb.push(0x1004, &Instr::Nop, None);
+        assert_eq!(tb.pending_len(), 2);
+        assert_eq!(tb.flush().unwrap().len, 2);
+        assert_eq!(tb.pending_len(), 0);
+    }
+}

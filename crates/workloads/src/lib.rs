@@ -1,0 +1,35 @@
+//! Synthetic SPEC95-integer-analogue workloads.
+//!
+//! The paper evaluates on the SPEC95 integer suite compiled with
+//! SimpleScalar gcc. Neither is available here, so each benchmark is
+//! replaced by a synthetic analogue written in SSIR assembly and
+//! calibrated to reproduce the *characteristics the paper's results hinge
+//! on* — branch predictability (Table 3's mispredictions per 1000
+//! instructions) and the density of ineffectual writes and predictable
+//! branches (Figure 8's removal fractions):
+//!
+//! | analogue   | character                                        | paper misp/1000 | paper removal |
+//! |------------|--------------------------------------------------|-----------------|---------------|
+//! | `compress` | LZW-style hashing over pseudo-random bytes       | 16              | ≈2 %          |
+//! | `gcc`      | many phases, mixed branches, unstable traces     | 6.4             | ≈8 %          |
+//! | `go`       | irregular board evaluation                       | 11              | ≈1 %          |
+//! | `jpeg`     | regular DCT-like kernels, rare clamps            | 4.1             | ≈3 %          |
+//! | `li`       | interpreter dispatch loop, dead temporaries      | 6.5             | ≈10 %         |
+//! | `m88ksim`  | device-state update, massive silent stores       | 1.9             | ≈50 %         |
+//! | `perl`     | string hashing into mostly-stable tables         | 2.0             | ≈20 %         |
+//! | `vortex`   | object store with validation rewrites            | 1.1             | ≈16 %         |
+//!
+//! Every workload is deterministic (inputs come from embedded LCG-seeded
+//! data), runs to `halt`, and scales by an iteration parameter.
+//!
+//! [`random_program`] additionally generates seeded, well-formed,
+//! terminating programs for property-based testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod programs;
+mod randprog;
+
+pub use programs::{benchmark, suite, Workload, BENCHMARK_NAMES};
+pub use randprog::{random_program, RandProgConfig};

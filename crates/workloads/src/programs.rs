@@ -1,0 +1,719 @@
+//! The eight SPEC95-integer-analogue benchmark programs.
+//!
+//! Each builder returns SSIR assembly text parameterised by an iteration
+//! count; [`benchmark`] assembles it at a size chosen so the default
+//! dynamic instruction counts mirror Table 1's relative ordering (scaled
+//! down ~1000x so a full evaluation takes seconds, not hours).
+
+use slipstream_isa::{assemble, Program};
+
+/// LCG multiplier (Knuth's MMIX constants) used for embedded pseudo-random
+/// data — fits in an `i64` immediate.
+const LCG_A: i64 = 6364136223846793005;
+/// LCG increment.
+const LCG_C: i64 = 1442695040888963407;
+
+/// A ready-to-run benchmark.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// SPEC95 benchmark this is an analogue of.
+    pub name: &'static str,
+    /// The assembled program.
+    pub program: Program,
+    /// Rough expected dynamic instruction count at this size.
+    pub target_dynamic: u64,
+}
+
+/// The eight benchmark names, in the paper's order.
+pub const BENCHMARK_NAMES: [&str; 8] =
+    ["compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex"];
+
+/// Builds one benchmark at `scale` (1.0 = default size; dynamic length
+/// scales roughly linearly). Returns `None` for an unknown name.
+pub fn benchmark(name: &str, scale: f64) -> Option<Workload> {
+    let sz = |n: u64| ((n as f64 * scale).max(8.0)) as u64;
+    let (src, target): (String, u64) = match name {
+        // Table 1 (scaled ~1000x down): compress 248M → ~250k, etc.
+        "compress" => (compress(sz(14_000)), 250_000),
+        "gcc" => (gcc(sz(72)), 120_000),
+        "go" => (go(sz(370)), 135_000),
+        "jpeg" => (jpeg(sz(2_450)), 165_000),
+        "li" => (li(sz(1_600)), 200_000),
+        "m88ksim" => (m88ksim(sz(3_700)), 120_000),
+        "perl" => (perl(sz(13)), 110_000),
+        "vortex" => (vortex(sz(12)), 100_000),
+        _ => return None,
+    };
+    let program = assemble(&src).unwrap_or_else(|e| {
+        panic!("benchmark `{name}` failed to assemble: {e}");
+    });
+    let stat_name = BENCHMARK_NAMES
+        .iter()
+        .find(|&&n| n == name)
+        .expect("name validated above");
+    Some(Workload {
+        name: stat_name,
+        program,
+        target_dynamic: (target as f64 * scale) as u64,
+    })
+}
+
+/// All eight benchmarks at `scale`.
+pub fn suite(scale: f64) -> Vec<Workload> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|n| benchmark(n, scale).expect("known name"))
+        .collect()
+}
+
+/// `compress`: LZW-flavoured hashing over a pseudo-random byte stream.
+/// Data-dependent branches with weak bias → the paper's worst branch
+/// misprediction rate (16/1000) and almost nothing removable.
+fn compress(iters: u64) -> String {
+    format!(
+        r#"
+        ; compress analogue: hash-table driven compression loop
+        li r1, {iters}
+        li r2, 0x9e3779b9          ; LCG state (input model)
+        li r3, 0x40000             ; hash table (4096 entries)
+        li r20, {LCG_A}
+        li r31, 0                  ; matches
+        li r30, 0                  ; inserts
+    loop:
+        mul r2, r2, r20            ; next input symbol
+        addi r2, r2, {LCG_C}
+        srli r4, r2, 24
+        andi r4, r4, 4095          ; hash index
+        slli r5, r4, 3
+        add r5, r5, r3
+        ld r6, 0(r5)               ; probe
+        andi r7, r2, 255           ; symbol
+        ; deterministic mixing work (serial, like real dictionary updates)
+        add r12, r12, r7
+        slli r13, r12, 3
+        xor r12, r12, r13
+        addi r12, r12, 41
+        srli r13, r12, 5
+        add r12, r12, r13
+        slli r13, r12, 1
+        xor r12, r12, r13
+        add r14, r14, r12
+        srli r8, r2, 33
+        andi r8, r8, 7
+        beq r8, r0, hit            ; data-dependent, ~12.5% taken
+        ; miss: insert new entry (value always differs)
+        st r7, 0(r5)
+        addi r30, r30, 1
+        j next
+    hit:
+        add r31, r31, r6
+        srli r9, r2, 17
+        andi r9, r9, 1
+        beq r9, r0, next           ; second data-dependent branch, ~50%
+        xor r31, r31, r7
+    next:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+        "#
+    )
+}
+
+/// `gcc`: several distinct phases with mixed branch behaviour and a
+/// moderate sprinkling of dead temporaries — predictable and unpredictable
+/// branches share traces (the paper's "unstable traces" culprit).
+fn gcc(iters: u64) -> String {
+    format!(
+        r#"
+        ; gcc analogue: alternating compiler-ish phases
+        li r1, {iters}
+        li r2, 0x12345
+        li r3, 0x50000             ; symbol table
+        li r20, {LCG_A}
+    outer:
+        ; --- phase A: "parse": biased data-dependent branch (~6% taken)
+        li r10, 6
+    parse:
+        mul r2, r2, r20
+        addi r2, r2, {LCG_C}
+        srli r4, r2, 29
+        andi r4, r4, 15
+        li r5, 0                   ; dead temp (overwritten below)
+        li r5, 1
+        beq r4, r0, rare_a         ; ~6% taken
+        add r6, r6, r5
+        j parse_next
+    rare_a:
+        sub r6, r6, r5
+        xor r9, r6, r5             ; balances the path lengths
+    parse_next:
+        addi r10, r10, -1
+        bne r10, r0, parse
+        ; --- phase B: "emit": predictable copies with silent flag stores
+        li r10, 192
+        li r11, 7
+    emit:
+        st r11, 0(r3)              ; same flag value every pass → silent
+        slli r12, r10, 3
+        add r13, r3, r12
+        st r6, 8(r13)              ; live store (changes)
+        st r11, 1024(r13)          ; per-slot flag: same value → silent
+        add r14, r14, r6           ; live running checksum (pads to 8)
+        addi r10, r10, -1
+        bne r10, r0, emit
+        ; --- phase C: "optimize": biased data-dependent comparison
+        li r10, 6
+    opt:
+        mul r2, r2, r20
+        addi r2, r2, {LCG_C}
+        srli r4, r2, 40
+        andi r4, r4, 7
+        beq r4, r0, opt_rare       ; ~12.5% taken
+        addi r7, r7, 3
+        j opt_next
+    opt_rare:
+        addi r8, r8, 1
+        j opt_next
+    opt_next:
+        addi r10, r10, -1
+        bne r10, r0, opt
+        add r15, r7, r8            ; phase summary (pads the outer body
+        xor r16, r15, r6           ; to a multiple of the trace length)
+        addi r1, r1, -1
+        bne r1, r0, outer
+        halt
+        "#
+    )
+}
+
+/// `go`: irregular board evaluation — data-dependent comparisons against
+/// a pseudo-random board with nothing worth removing.
+fn go(iters: u64) -> String {
+    format!(
+        r#"
+        ; go analogue: board scan with irregular control flow
+        li r1, {iters}
+        li r2, 0xdeadbeef
+        li r3, 0x60000             ; board (64 points)
+        li r20, {LCG_A}
+        ; initialise the board pseudo-randomly
+        li r10, 64
+        mv r11, r3
+    init:
+        mul r2, r2, r20
+        addi r2, r2, {LCG_C}
+        srli r4, r2, 30
+        andi r4, r4, 7
+        st r4, 0(r11)
+        addi r11, r11, 8
+        addi r10, r10, -1
+        bne r10, r0, init
+    eval:
+        li r10, 16                 ; scan 16 points per evaluation
+        mv r11, r3
+        li r12, 0                  ; score
+    scan:
+        ld r4, 0(r11)
+        mul r2, r2, r20
+        addi r2, r2, {LCG_C}
+        srli r5, r2, 35
+        andi r5, r5, 3
+        ; positional weighting (deterministic evaluation work)
+        slli r13, r4, 2
+        add r13, r13, r4
+        srli r14, r13, 1
+        xor r15, r13, r14
+        add r12, r12, r15
+        add r18, r18, r15
+        slli r19, r18, 1
+        xor r18, r18, r19
+        addi r18, r18, 71
+        srli r19, r18, 4
+        add r18, r18, r19
+        xor r21, r21, r18
+        add r23, r23, r21
+        blt r4, r5, capture        ; irregular, data-dependent (~19% taken)
+        add r12, r12, r4
+        j scan_next
+    capture:
+        sub r12, r12, r5
+        addi r12, r12, 13
+    scan_next:
+        ; mutate the point so the next pass differs
+        xor r4, r4, r12
+        andi r4, r4, 7
+        st r4, 0(r11)
+        addi r11, r11, 8
+        addi r10, r10, -1
+        bne r10, r0, scan
+        addi r1, r1, -1
+        bne r1, r0, eval
+        halt
+        "#
+    )
+}
+
+/// `jpeg`: DCT-flavoured multiply-accumulate kernels with regular control
+/// flow and an occasional clamp — ILP-rich, few mispredictions, little to
+/// remove.
+fn jpeg(iters: u64) -> String {
+    format!(
+        r#"
+        ; jpeg analogue: 8-tap MAC kernel with saturation
+        li r1, {iters}
+        li r2, 0xc0ffee
+        li r3, 0x70000             ; coefficient block
+        li r20, {LCG_A}
+        ; fixed coefficient table
+        li r10, 8
+        mv r11, r3
+        li r12, 3
+    coef:
+        st r12, 0(r11)
+        addi r12, r12, 5
+        addi r11, r11, 8
+        addi r10, r10, -1
+        bne r10, r0, coef
+    block:
+        mul r2, r2, r20
+        addi r2, r2, {LCG_C}
+        li r13, 0                  ; acc0
+        li r14, 0                  ; acc1
+        li r10, 4
+        mv r11, r3
+        mv r15, r2
+    tap:
+        ld r4, 0(r11)
+        andi r5, r15, 255
+        srli r15, r15, 8
+        mul r6, r4, r5
+        add r13, r13, r6
+        xor r14, r14, r6
+        ld r4, 8(r11)
+        andi r5, r15, 255
+        srli r15, r15, 8
+        mul r6, r4, r5
+        add r13, r13, r6
+        xor r14, r14, r6
+        addi r11, r11, 16
+        addi r10, r10, -1
+        bne r10, r0, tap
+        ; saturate (data dependent; both outcomes cost one instruction so
+        ; the block length is constant and trace ids stay phase-aligned)
+        li r7, 30000
+        blt r13, r7, noclamp
+        mv r13, r7
+        j clamped
+    noclamp:
+        addi r13, r13, 0
+    clamped:
+        add r16, r16, r13
+        xor r16, r16, r14
+        slli r17, r16, 1           ; live output mixing (phase padding)
+        xor r18, r17, r16
+        addi r1, r1, -1
+        bne r1, r0, block
+        halt
+        "#
+    )
+}
+
+/// `li`: a bytecode interpreter running a repetitive little program —
+/// highly predictable dispatch, handlers full of dead temporaries.
+fn li(iters: u64) -> String {
+    format!(
+        r#"
+        ; li (lisp interpreter) analogue: bytecode dispatch loop
+        li r1, {iters}
+        li r3, bytecode
+        li r21, 0                  ; accumulator
+        li r22, 0x80000            ; environment cell
+        li r2, 0x115a            ; LCG state (cond-op data)
+        li r20, {LCG_A}
+    run:
+        li r10, 10                 ; program length
+        mv r11, r3
+    dispatch:
+        ldb r4, 0(r11)             ; fetch opcode
+        li r12, 0                  ; dead scratch (every handler rewrites)
+        beq r4, r0, op_push
+        li r5, 1
+        beq r4, r5, op_add
+        li r5, 2
+        beq r4, r5, op_store
+        ; op_cond: data-dependent conditional (~25% taken)
+        mul r2, r2, r20
+        addi r2, r2, {LCG_C}
+        srli r6, r2, 37
+        andi r6, r6, 3
+        beq r6, r0, cond_taken
+        addi r24, r24, 1
+        j dnext
+    cond_taken:
+        addi r21, r21, 7
+        j dnext
+    op_push:
+        li r12, 5                  ; scratch, dead (overwritten next dispatch)
+        addi r21, r21, 1
+        slli r15, r21, 1           ; live tag arithmetic
+        xor r16, r15, r21
+        add r23, r23, r16
+        j dnext
+    op_add:
+        add r21, r21, r21
+        andi r21, r21, 65535
+        srli r15, r21, 3           ; live normalization work
+        add r16, r15, r21
+        xor r23, r23, r16
+        j dnext
+    op_store:
+        st r21, 0(r22)             ; environment write (changes)
+        li r13, 1
+        st r13, 8(r22)             ; "bound" flag: same value → silent
+        add r23, r23, r21
+        srli r15, r23, 2
+        xor r23, r23, r15
+        j dnext
+    dnext:
+        slli r17, r21, 2           ; live bookkeeping on the accumulator
+        xor r18, r17, r21
+        add r23, r23, r18
+        addi r11, r11, 1
+        addi r10, r10, -1
+        bne r10, r0, dispatch
+        addi r1, r1, -1
+        bne r1, r0, run
+        halt
+    .data 0x90000
+    bytecode: .word 0
+        "#
+    )
+    // The bytecode bytes are patched below via the data segment: see
+    // `li_program_data` in `benchmark` — kept inline for simplicity:
+    // opcode stream 0,1,3,0,2,1,3,0,1,2 packed as bytes of one word + two.
+    .replace(
+        "bytecode: .word 0",
+        // 10 opcodes: push add cond push store add cond push add store
+        "bytecode: .word 0x0201000101020003, 0x0201",
+    )
+}
+
+/// `m88ksim`: a device simulator main loop that rewrites mostly-unchanged
+/// device state every cycle — the paper's removal champion (~50%).
+fn m88ksim(iters: u64) -> String {
+    format!(
+        r#"
+        ; m88ksim analogue: simulator step. Each iteration is exactly 64
+        ; instructions = two phase-aligned traces. The first trace rewrites
+        ; stable device status (massively removable — the paper's ~50%);
+        ; the second advances the simulated clock and takes a quasi-random
+        ; device interrupt at the paper's ~2/1000 misprediction rate.
+        li r1, {iters}
+        li r3, 0xa0000             ; device state block
+        li r24, 42                 ; mixing constant
+    step:
+        ; ---- trace 1: status block recomputation (silent after step 1)
+        li r10, 42
+        st r10, 0(r3)
+        li r11, 1
+        st r11, 8(r3)
+        li r12, 42
+        st r12, 16(r3)
+        li r13, 1
+        st r13, 24(r3)
+        li r26, 7
+        st r26, 40(r3)
+        li r27, 9
+        st r27, 48(r3)
+        ld r25, 96(r3)             ; config word (never written → stable)
+        andi r21, r25, 255         ; silent chains through the config
+        st r21, 104(r3)
+        slli r22, r25, 3
+        st r22, 112(r3)
+        xor r23, r25, r24
+        st r23, 120(r3)
+        srli r28, r25, 2
+        st r28, 152(r3)
+        li r29, 5
+        st r29, 128(r3)
+        li r30, 3
+        st r30, 136(r3)
+        li r31, 8
+        st r31, 144(r3)
+        add r20, r20, r25          ; live accounting
+        add r20, r20, r24
+        li r10, 21
+        st r10, 168(r3)
+        add r20, r20, r10
+        ; ---- trace 2: clock, log ring, interrupt, loop control
+        ld r14, 32(r3)
+        addi r14, r14, 1
+        st r14, 32(r3)
+        andi r17, r14, 7
+        slli r18, r17, 3
+        add r18, r3, r18
+        xor r19, r14, r24
+        st r19, 256(r18)           ; live cycle log
+        add r20, r20, r19
+        mv r6, r14                 ; live status recomputation (serial)
+        slli r7, r6, 7
+        xor r6, r6, r7
+        addi r6, r6, 99
+        srli r7, r6, 11
+        add r6, r6, r7
+        slli r7, r6, 3
+        xor r6, r6, r7
+        addi r6, r6, 17
+        srli r7, r6, 5
+        add r6, r6, r7
+        slli r7, r6, 2
+        xor r6, r6, r7
+        add r20, r20, r6
+        mul r15, r14, r24          ; quasi-random device interrupt
+        srli r15, r15, 9           ; (~6% taken; both outcome paths cost
+        andi r15, r15, 15          ; the same so the body stays 64)
+        bne r15, r0, no_event
+        addi r16, r16, 1
+        j evt_done
+    no_event:
+        addi r15, r15, 1
+        j evt_done
+    evt_done:
+        add r20, r20, r16
+        addi r1, r1, -1
+        bne r1, r0, step
+        halt
+        "#
+    )
+}
+
+/// `perl`: string hashing into mostly-stable tables — predictable loops,
+/// a good fraction of silent bucket rewrites.
+fn perl(iters: u64) -> String {
+    format!(
+        r#"
+        ; perl analogue: repeated hashing of a fixed word list
+        li r1, {iters}
+        li r3, strpool
+        li r4, 0xb0000             ; hash buckets
+        li r26, 0                  ; checksum
+    pass:
+        li r10, 128                ; words per pass (exits amortized)
+        mv r11, r3
+    word:
+        li r12, 0                  ; hash
+        li r13, 6                  ; fixed length
+        mv r14, r11
+    chars:
+        ldb r15, 0(r14)
+        slli r16, r12, 2
+        add r16, r16, r15
+        andi r12, r16, 1023
+        addi r14, r14, 1
+        addi r13, r13, -1
+        bne r13, r0, chars
+        ; bucket write: same words hash the same → silent after pass 1
+        slli r17, r12, 3
+        add r17, r17, r4
+        st r12, 0(r17)             ; silent from pass 2 on
+        li r18, 1
+        st r18, 512(r17)           ; "seen" flag: silent from pass 2 on
+        add r26, r26, r12
+        ; live summary arithmetic on the checksum only (pads each word to
+        ; 64 instructions = two phase-aligned traces; deliberately does not
+        ; read the hash registers, so the hash chain's liveness is decided
+        ; purely by the bucket stores)
+        add r24, r24, r26
+        slli r25, r24, 3
+        xor r24, r24, r25
+        addi r24, r24, 911
+        srli r25, r24, 5
+        add r24, r24, r25
+        slli r25, r24, 1
+        xor r24, r24, r25
+        addi r24, r24, 13
+        add r27, r27, r24
+        addi r11, r11, 8
+        addi r10, r10, -1
+        bne r10, r0, word
+        ; pass summary (pads the pass overhead to one full trace so word
+        ; traces stay phase-aligned across passes)
+        add r24, r24, r26
+        slli r25, r24, 2
+        xor r24, r24, r25
+        addi r24, r24, 31
+        srli r25, r24, 7
+        add r24, r24, r25
+        slli r25, r24, 1
+        xor r24, r24, r25
+        addi r24, r24, 3
+        add r24, r24, r26
+        slli r25, r24, 4
+        xor r24, r24, r25
+        addi r24, r24, 17
+        srli r25, r24, 3
+        add r24, r24, r25
+        slli r25, r24, 2
+        xor r24, r24, r25
+        addi r24, r24, 5
+        add r24, r24, r27
+        slli r25, r24, 1
+        xor r24, r24, r25
+        addi r24, r24, 23
+        srli r25, r24, 6
+        add r24, r24, r25
+        xor r27, r27, r24
+        add r30, r30, r27
+        addi r1, r1, -1
+        bne r1, r0, pass
+        halt
+    .data 0xc0000
+    strpool: .word 7523676836077709601, 7885377700268092966, 8246976309877093163, 8608677174067476528, 8970378038257859893, 2604545484086854202, 2966246346716956479, 3327947210907339844, 3689648075097723209, 4051348939288106574, 4413049803478489939, 4774750667668873304, 5136451531859256669, 5498152396043545186, 5859852860801970023, 6221553724992353388, 6583254589182736753, 6944955453373096310, 7306656317563479675, 7668357181753862947, 8029955791362863144, 8391656655553246509, 8753357519743629874, 2387524965572624183, 2749225828202726460, 3110926692393109825, 3472627556583493190, 3834328420773876555, 4196029284964259920, 4557730149154643285, 4919431013345026650, 5281131877535410015, 5642832741719698532, 6004533206478123369, 6366234070668506734, 6727934934858890099, 7089635799049249656, 7451336663239633021, 7813037527430016293, 8174636137039016490, 8536337001229399855, 8898037865419783220, 2532205311248777529, 2893906173878879806, 3255607038069263171, 3617307902259646536, 3979008766450029901, 4340709630640413266, 4702410494830796631, 5064111359021179996, 5425812223205468513, 5787513087395851878, 6149213552154276715, 6510914416344660080, 6872615280535043445, 7234316144725403002, 7596017008915786274, 7957615618524786471, 8319316482715169836, 8681017346905553201, 9016541038261845558, 2676885656924930875, 3038586519555033152, 3400287383745416517, 3761988247935799882, 4123689112126183247, 4485389976316566612, 4847090840506949977, 5208791704697333342, 5570492568881621859, 5932193033640046696, 6293893897830430061, 6655594762020813426, 7017295626211172983, 7378996490401556348, 7740697354591939620, 8102295964200939817, 8463996828391323182, 8825697692581706547, 2459865138410700856, 2821566001040803133, 3183266865231186498, 3544967729421569863, 3906668593611953228, 4268369457802336593, 4630070321992719958, 4991771186183103323, 5353472050367391840, 5715172914557775205, 6076873379316200042, 6438574243506583407, 6800275107696966772, 7161975971887326329, 7523676836077709601, 7885377700268092966, 8246976309877093163, 8608677174067476528, 8970378038257859893, 2604545484086854202, 2966246346716956479, 3327947210907339844, 3689648075097723209, 4051348939288106574, 4413049803478489939, 4774750667668873304, 5136451531859256669, 5498152396043545186, 5859852860801970023, 6221553724992353388, 6583254589182736753, 6944955453373096310, 7306656317563479675, 7668357181753862947, 8029955791362863144, 8391656655553246509, 8753357519743629874, 2387524965572624183, 2749225828202726460, 3110926692393109825, 3472627556583493190, 3834328420773876555, 4196029284964259920, 4557730149154643285, 4919431013345026650, 5281131877535410015, 5642832741719698532, 6004533206478123369, 6366234070668506734
+        "#
+    )
+}
+
+/// `vortex`: an object store traversal validating and refreshing records
+/// whose fields rarely change — very predictable, solidly removable.
+fn vortex(iters: u64) -> String {
+    format!(
+        r#"
+        ; vortex analogue: object database traversal
+        li r1, {iters}
+        li r3, 0xd0000             ; object store: 16 records x 4 words
+        li r27, 3                  ; VALID type tag
+        ; initialise records
+        li r10, 512
+        mv r11, r3
+    mkobj:
+        st r27, 0(r11)             ; type = VALID
+        st r10, 8(r11)             ; payload
+        st r0, 16(r11)             ; access count
+        addi r11, r11, 32
+        addi r10, r10, -1
+        bne r10, r0, mkobj
+    txn:
+        li r10, 512
+        mv r11, r3
+    visit:
+        ld r4, 0(r11)              ; load type tag
+        bne r4, r27, corrupt       ; never taken (all valid) → removable
+        st r27, 0(r11)             ; revalidate: always same tag → silent
+        ld r5, 8(r11)              ; payload (stable)
+        add r28, r28, r5           ; running checksum: a serial,
+        slli r7, r28, 1            ; loop-carried chain — the baseline's
+        xor r28, r28, r7           ; issue queue pays its latency, while
+        srli r7, r28, 3            ; the R-stream's value predictions
+        add r28, r28, r7           ; break it
+        ld r6, 16(r11)
+        addi r6, r6, 1
+        st r6, 16(r11)             ; access count (live)
+        j visited
+    corrupt:
+        addi r29, r29, 1
+    visited:
+        addi r11, r11, 32
+        addi r10, r10, -1
+        bne r10, r0, visit
+        ; transaction summary (pads the per-transaction overhead to one
+        ; full trace, keeping visit traces phase-aligned across txns)
+        add r26, r26, r28
+        slli r25, r26, 1
+        xor r26, r26, r25
+        addi r26, r26, 7
+        srli r25, r26, 3
+        add r26, r26, r25
+        slli r25, r26, 2
+        xor r26, r26, r25
+        addi r26, r26, 19
+        srli r25, r26, 5
+        add r26, r26, r25
+        slli r25, r26, 1
+        xor r26, r26, r25
+        addi r26, r26, 3
+        add r26, r26, r30
+        slli r25, r26, 3
+        xor r26, r26, r25
+        addi r26, r26, 11
+        srli r25, r26, 2
+        add r26, r26, r25
+        slli r25, r26, 1
+        xor r26, r26, r25
+        addi r26, r26, 5
+        srli r25, r26, 7
+        add r26, r26, r25
+        xor r30, r30, r26
+        add r31, r31, r26
+        addi r1, r1, -1
+        bne r1, r0, txn
+        halt
+        "#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_isa::ArchState;
+
+    #[test]
+    fn all_benchmarks_assemble_and_halt() {
+        for w in suite(0.1) {
+            let mut st = ArchState::new(&w.program);
+            let n = st
+                .run_quiet(&w.program, 50_000_000)
+                .unwrap_or_else(|e| panic!("{} did not complete: {e}", w.name));
+            assert!(n > 1_000, "{} ran only {n} instructions", w.name);
+        }
+    }
+
+    #[test]
+    fn default_sizes_are_near_targets() {
+        for w in suite(0.2) {
+            let mut st = ArchState::new(&w.program);
+            let n = st.run_quiet(&w.program, 50_000_000).expect("halts");
+            let target = w.target_dynamic as f64;
+            let ratio = n as f64 / target;
+            assert!(
+                (0.2..4.0).contains(&ratio),
+                "{}: dynamic length {n} is far from target {target} (ratio {ratio:.2})",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn scale_changes_dynamic_length() {
+        let small = benchmark("m88ksim", 0.05).unwrap();
+        let big = benchmark("m88ksim", 0.2).unwrap();
+        let count = |w: &Workload| {
+            let mut st = ArchState::new(&w.program);
+            st.run_quiet(&w.program, 50_000_000).expect("halts")
+        };
+        let ns = count(&small);
+        let nb = count(&big);
+        assert!(nb > ns * 3, "scaling must grow the run ({ns} → {nb})");
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        assert!(benchmark("nonesuch", 1.0).is_none());
+    }
+
+    #[test]
+    fn suite_has_all_eight_in_paper_order() {
+        let names: Vec<&str> = suite(0.05).iter().map(|w| w.name).collect();
+        assert_eq!(names, BENCHMARK_NAMES.to_vec());
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let run = || {
+            let w = benchmark("compress", 0.05).unwrap();
+            let mut st = ArchState::new(&w.program);
+            st.run_quiet(&w.program, 50_000_000).unwrap();
+            *st.regs()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,80 @@
+//! Transient-fault tolerance demo (the paper's §3 / Figure 5).
+//!
+//! Injects single bit flips into each stream of a slipstream processor and
+//! classifies the outcomes against a functional golden run:
+//!
+//! - faults in the A-stream are always detected (every executed A-stream
+//!   value is checked by the R-stream) and transparently recovered;
+//! - faults in the R-stream are detected when they hit compared
+//!   instructions, but can escape silently when they hit instructions the
+//!   A-stream skipped (scenario 2 — the coverage hole of partial
+//!   redundancy).
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+
+use slipstream::core::{
+    golden_state, run_fault_experiment, FaultOutcome, FaultTarget, SlipstreamConfig,
+    SlipstreamProcessor,
+};
+use slipstream::cpu::FaultSpec;
+use slipstream::workloads::benchmark;
+
+fn main() {
+    let w = benchmark("m88ksim", 0.05).expect("known benchmark");
+    let golden = golden_state(&w.program, 100_000_000);
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+
+    // Fault-free reference run (removal mispredictions also trigger
+    // detections; only detections beyond this count are the fault's).
+    let mut clean = SlipstreamProcessor::new(cfg.clone(), &w.program);
+    assert!(clean.run(50_000_000));
+    let base = clean.stats().ir_mispredictions;
+    let dynamic = clean.stats().r_retired;
+    println!(
+        "workload: {} ({} instructions, {:.1}% removed by the A-stream)\n",
+        w.name,
+        dynamic,
+        100.0 * clean.stats().removal_fraction
+    );
+
+    for (target, label) in [
+        (FaultTarget::AStream, "A-stream"),
+        (FaultTarget::RStream, "R-stream"),
+    ] {
+        println!("injecting into the {label}:");
+        let mut counts = [0u32; 3];
+        for i in 0..12 {
+            let fault = FaultSpec {
+                seq: dynamic / 4 + i * (dynamic / 24),
+                bit: (i % 16) as u8,
+            };
+            let report = run_fault_experiment(
+                cfg.clone(),
+                &w.program,
+                target,
+                fault,
+                50_000_000,
+                &golden,
+                base,
+            );
+            match report.outcome {
+                FaultOutcome::DetectedRecovered => counts[0] += 1,
+                FaultOutcome::Masked => counts[1] += 1,
+                FaultOutcome::SilentCorruption => counts[2] += 1,
+                FaultOutcome::Hang => unreachable!("runs always complete"),
+            }
+        }
+        println!(
+            "  detected+recovered: {}   masked: {}   silent corruption: {}\n",
+            counts[0], counts[1], counts[2]
+        );
+    }
+    println!("Only R-stream faults can corrupt silently, and only when they land");
+    println!("in regions the A-stream skipped (the paper's scenario 2) AND the");
+    println!("corrupted location survives to the program's output. On this");
+    println!("self-healing workload most scenario-2 hits are overwritten (masked);");
+    println!("the deterministic test `fault_in_skipped_region_can_corrupt_silently`");
+    println!("pins the store where the corruption provably escapes.");
+}

@@ -1,0 +1,20 @@
+//! Facade crate for the slipstream processor reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use slipstream::...`. See the individual crates
+//! for the actual implementation:
+//!
+//! - [`isa`] — the SSIR instruction set, assembler, and functional simulator
+//! - [`predict`] — trace predictor, confidence estimation, branch predictors
+//! - [`cpu`] — the cycle-level out-of-order superscalar core model
+//! - [`core`] — the slipstream microarchitecture (IR-predictor, IR-detector,
+//!   delay buffer, recovery controller, fault injection)
+//! - [`workloads`] — SPEC95-integer-analogue synthetic benchmarks
+
+#![warn(missing_docs)]
+
+pub use slipstream_core as core;
+pub use slipstream_cpu as cpu;
+pub use slipstream_isa as isa;
+pub use slipstream_predict as predict;
+pub use slipstream_workloads as workloads;

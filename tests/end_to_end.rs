@@ -1,0 +1,159 @@
+//! Workspace-level end-to-end tests: every benchmark workload, run through
+//! every processor model, must produce exactly the functional oracle's
+//! architectural results — the strongest correctness statement the
+//! reproduction makes (the paper's §4 validation methodology, applied to
+//! the whole evaluation matrix).
+
+use slipstream::core::{
+    run_superscalar_with_core, RemovalPolicy, SlipstreamConfig, SlipstreamProcessor,
+};
+use slipstream::isa::ArchState;
+use slipstream::workloads::{suite, Workload};
+
+const SCALE: f64 = 0.05;
+const MAX_CYCLES: u64 = 20_000_000;
+
+fn golden(w: &Workload) -> ArchState {
+    let mut st = ArchState::new(&w.program);
+    st.run_quiet(&w.program, 100_000_000)
+        .unwrap_or_else(|e| panic!("{}: golden run failed: {e}", w.name));
+    st
+}
+
+#[test]
+fn baselines_match_oracle_on_every_benchmark() {
+    for w in suite(SCALE) {
+        let gold = golden(&w);
+        let cfg = SlipstreamConfig::cmp_2x64x4();
+        let (stats, core) =
+            run_superscalar_with_core(cfg.core.clone(), cfg.trace_pred, &w.program, MAX_CYCLES);
+        assert!(stats.halted, "{}: baseline did not complete", w.name);
+        assert_eq!(
+            core.arch_regs(),
+            gold.regs(),
+            "{}: baseline registers diverge from the oracle",
+            w.name
+        );
+        assert_eq!(
+            core.mem().first_difference(gold.mem()),
+            None,
+            "{}: baseline memory diverges from the oracle",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn slipstream_matches_oracle_on_every_benchmark() {
+    for w in suite(SCALE) {
+        let gold = golden(&w);
+        let mut proc = SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &w.program);
+        proc.set_strict(true); // post-recovery context equality asserted
+        proc.enable_online_check(); // paper §4: lockstep functional checker
+        assert!(proc.run(MAX_CYCLES), "{}: slipstream did not complete", w.name);
+        assert_eq!(
+            proc.r_core().arch_regs(),
+            gold.regs(),
+            "{}: R-stream registers diverge from the oracle",
+            w.name
+        );
+        assert_eq!(
+            proc.r_core().mem().first_difference(gold.mem()),
+            None,
+            "{}: R-stream memory diverges from the oracle",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn branches_only_policy_matches_oracle_on_every_benchmark() {
+    let mut cfg = SlipstreamConfig::cmp_2x64x4();
+    cfg.removal = RemovalPolicy::branches_only();
+    for w in suite(SCALE) {
+        let gold = golden(&w);
+        let mut proc = SlipstreamProcessor::new(cfg.clone(), &w.program);
+        proc.set_strict(true);
+        assert!(proc.run(MAX_CYCLES), "{}: run did not complete", w.name);
+        assert_eq!(proc.r_core().arch_regs(), gold.regs(), "{}", w.name);
+    }
+}
+
+#[test]
+fn aggressive_confidence_still_matches_oracle() {
+    // Threshold 2 forces frequent wrong removal and exercises the whole
+    // IR-misprediction recovery path under load.
+    let mut cfg = SlipstreamConfig::cmp_2x64x4();
+    cfg.confidence_threshold = 2;
+    let mut any_misp = 0;
+    for w in suite(0.03) {
+        let gold = golden(&w);
+        let mut proc = SlipstreamProcessor::new(cfg.clone(), &w.program);
+        proc.set_strict(true);
+        assert!(proc.run(MAX_CYCLES), "{}: run did not complete", w.name);
+        assert_eq!(proc.r_core().arch_regs(), gold.regs(), "{}", w.name);
+        assert_eq!(
+            proc.r_core().mem().first_difference(gold.mem()),
+            None,
+            "{}",
+            w.name
+        );
+        any_misp += proc.stats().ir_mispredictions;
+    }
+    assert!(
+        any_misp > 0,
+        "threshold 2 must provoke at least one IR-misprediction across the suite"
+    );
+}
+
+#[test]
+fn removal_shape_matches_the_paper() {
+    // Figure 8's qualitative shape: m88ksim is the removal champion; the
+    // object/string benchmarks (vortex, perl) remove a solid mid-tier
+    // fraction; the branchy benchmarks (compress, go) remove almost
+    // nothing.
+    use std::collections::HashMap;
+    let mut removal: HashMap<&str, f64> = HashMap::new();
+    for w in suite(0.2) {
+        let mut proc = SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &w.program);
+        assert!(proc.run(MAX_CYCLES));
+        removal.insert(w.name, proc.stats().removal_fraction);
+    }
+    assert!(removal["m88ksim"] > 0.35, "m88ksim: {:?}", removal["m88ksim"]);
+    assert!(removal["perl"] > 0.08, "perl: {:?}", removal["perl"]);
+    assert!(removal["vortex"] > 0.08, "vortex: {:?}", removal["vortex"]);
+    assert!(removal["compress"] < 0.05, "compress: {:?}", removal["compress"]);
+    assert!(removal["go"] < 0.05, "go: {:?}", removal["go"]);
+    assert!(
+        removal["m88ksim"] > removal["vortex"] && removal["m88ksim"] > removal["perl"],
+        "m88ksim must lead: {removal:?}"
+    );
+}
+
+#[test]
+fn misprediction_shape_matches_the_paper() {
+    // Table 3's qualitative shape: compress and go are the misprediction
+    // leaders; m88ksim, perl, and vortex are highly predictable.
+    use std::collections::HashMap;
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let mut misp: HashMap<&str, f64> = HashMap::new();
+    for w in suite(0.2) {
+        let stats = slipstream::core::run_superscalar(
+            cfg.core.clone(),
+            cfg.trace_pred,
+            &w.program,
+            MAX_CYCLES,
+        );
+        misp.insert(w.name, stats.core.branch_mispredicts_per_kilo());
+    }
+    for quiet in ["m88ksim", "perl", "vortex"] {
+        for noisy in ["compress", "go"] {
+            assert!(
+                misp[noisy] > misp[quiet] * 3.0,
+                "{noisy} ({:.1}) must mispredict far more than {quiet} ({:.1})",
+                misp[noisy],
+                misp[quiet]
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests over randomly generated programs: whatever program
+//! the generator produces, every timing model must agree exactly with the
+//! functional oracle, and the slipstream invariants must hold.
+
+use proptest::prelude::*;
+
+use slipstream::core::{RemovalPolicy, SlipstreamConfig, SlipstreamProcessor};
+use slipstream::cpu::{Core, CoreConfig, OracleDriver};
+use slipstream::isa::{ArchState, Program};
+use slipstream::workloads::{random_program, RandProgConfig};
+
+const FUEL: u64 = 3_000_000;
+const MAX_CYCLES: u64 = 10_000_000;
+
+fn golden(p: &Program) -> ArchState {
+    let mut st = ArchState::new(p);
+    st.run_quiet(p, FUEL).expect("generated programs terminate");
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The cycle-level core retires exactly the oracle's results.
+    #[test]
+    fn cycle_core_equals_oracle(seed in 0u64..10_000) {
+        let p = random_program(seed, RandProgConfig::default());
+        let gold = golden(&p);
+        let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
+        let mut driver = OracleDriver::new(&p);
+        while !core.halted() {
+            core.cycle(&mut driver);
+        }
+        prop_assert_eq!(core.arch_regs(), gold.regs());
+        prop_assert_eq!(core.mem().first_difference(gold.mem()), None);
+    }
+
+    /// The full slipstream processor — removal, delay buffer, recovery and
+    /// all — ends with the oracle's architectural state.
+    #[test]
+    fn slipstream_equals_oracle(seed in 0u64..10_000) {
+        let p = random_program(seed, RandProgConfig::default());
+        let gold = golden(&p);
+        let mut proc = SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &p);
+        proc.set_strict(true);
+        prop_assert!(proc.run(MAX_CYCLES));
+        prop_assert_eq!(proc.r_core().arch_regs(), gold.regs());
+        prop_assert_eq!(proc.r_core().mem().first_difference(gold.mem()), None);
+    }
+
+    /// An aggressive confidence threshold provokes wrong removal and
+    /// recovery, but the final state still matches.
+    #[test]
+    fn slipstream_recovers_under_aggressive_removal(seed in 0u64..2_000) {
+        let p = random_program(seed, RandProgConfig::default());
+        let gold = golden(&p);
+        let mut cfg = SlipstreamConfig::cmp_2x64x4();
+        cfg.confidence_threshold = 1;
+        let mut proc = SlipstreamProcessor::new(cfg, &p);
+        proc.set_strict(true);
+        prop_assert!(proc.run(MAX_CYCLES));
+        prop_assert_eq!(proc.r_core().arch_regs(), gold.regs());
+        prop_assert_eq!(proc.r_core().mem().first_difference(gold.mem()), None);
+    }
+
+    /// AR-SMT mode (no removal) never diverges and retires both streams in
+    /// lockstep totals.
+    #[test]
+    fn ar_smt_mode_is_fully_redundant(seed in 0u64..5_000) {
+        let p = random_program(seed, RandProgConfig::default());
+        let mut cfg = SlipstreamConfig::cmp_2x64x4();
+        cfg.removal = RemovalPolicy::none();
+        let mut proc = SlipstreamProcessor::new(cfg, &p);
+        prop_assert!(proc.run(MAX_CYCLES));
+        let s = proc.stats();
+        prop_assert_eq!(s.skipped, 0);
+        prop_assert_eq!(s.ir_mispredictions, 0);
+        prop_assert_eq!(s.a_retired, s.r_retired);
+    }
+
+    /// Trace construction and materialization are inverses: segmenting a
+    /// random program's dynamic stream into canonical traces and walking
+    /// each id back through the text reproduces the exact PC sequence.
+    #[test]
+    fn trace_ids_materialize_back_to_the_dynamic_stream(seed in 0u64..10_000) {
+        use slipstream::predict::{materialize, TraceBuilder};
+        let p = random_program(seed, RandProgConfig::default());
+        let mut st = ArchState::new(&p);
+        let trace = st.run(&p, FUEL).expect("terminates");
+        let mut tb = TraceBuilder::new();
+        let mut ids = Vec::new();
+        let mut pcs = Vec::new();
+        for rec in &trace {
+            pcs.push(rec.pc);
+            if let Some(t) = tb.push(rec.pc, &rec.instr, rec.taken) {
+                ids.push(t);
+            }
+        }
+        if let Some(t) = tb.flush() {
+            ids.push(t);
+        }
+        let mut rebuilt = Vec::new();
+        for id in ids {
+            let m = materialize(&p, id).expect("constructed ids always materialize");
+            rebuilt.extend(m.pcs);
+        }
+        prop_assert_eq!(rebuilt, pcs);
+    }
+
+    /// The online functional checker (paper §4) passes on random programs:
+    /// the R-stream retires the oracle's stream record-for-record.
+    #[test]
+    fn online_checker_accepts_random_programs(seed in 0u64..3_000) {
+        let p = random_program(seed, RandProgConfig::default());
+        let mut proc = SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &p);
+        proc.enable_online_check();
+        prop_assert!(proc.run(MAX_CYCLES));
+    }
+
+    /// The functional simulator itself is deterministic.
+    #[test]
+    fn functional_simulator_is_deterministic(seed in 0u64..10_000) {
+        let p = random_program(seed, RandProgConfig::default());
+        let a = golden(&p);
+        let b = golden(&p);
+        prop_assert_eq!(a.regs(), b.regs());
+        prop_assert_eq!(a.retired(), b.retired());
+    }
+}
