@@ -1,143 +1,107 @@
-//! Criterion benches that regenerate every table and figure of the paper
-//! at reduced scale (so `cargo bench` both times the simulators and
-//! re-runs each experiment), plus throughput benches for the simulator
-//! layers themselves.
+//! Std-only benches (`cargo bench`) that regenerate the paper's key
+//! experiments at reduced scale while timing the simulator layers.
+//!
+//! Formerly a Criterion harness; rewritten against `std::time::Instant`
+//! so the workspace carries no external dependencies and builds fully
+//! offline. For the maintained instrs/sec trajectory use the `throughput`
+//! binary, which also writes `BENCH_throughput.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
 use slipstream_bench::{evaluate, BenchRow};
-use slipstream_core::{
-    run_superscalar, RemovalPolicy, SlipstreamConfig, SlipstreamProcessor,
-};
+use slipstream_core::{run_superscalar, RemovalPolicy, SlipstreamConfig, SlipstreamProcessor};
 use slipstream_cpu::{Core, CoreConfig, OracleDriver};
-use slipstream_isa::ArchState;
+use slipstream_isa::{ArchState, Retired};
 use slipstream_workloads::benchmark;
 
 const BENCH_SCALE: f64 = 0.05;
+const SAMPLES: usize = 5;
 
-/// Table 1 + Figure 6 + Table 3 rows come out of the same model runs; this
-/// bench times one full benchmark evaluation (all four models) per paper
-/// benchmark so `cargo bench` regenerates every row.
-fn bench_paper_rows(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_rows");
-    g.sample_size(10);
+/// Times `f` over [`SAMPLES`] runs and prints the best (least-noisy) run.
+fn time<R>(label: &str, mut f: impl FnMut() -> R) {
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(r);
+        best = best.min(dt);
+    }
+    println!("{label:<40} {:>10.2} ms/iter", best * 1e3);
+}
+
+fn main() {
+    println!("paper_experiments: best of {SAMPLES} runs per case\n");
+
+    // Table 1 / Figure 6 / Table 3 rows: one full evaluation per benchmark.
     for name in ["compress", "m88ksim", "vortex"] {
-        g.bench_function(format!("evaluate/{name}"), |b| {
-            b.iter(|| {
-                let row: BenchRow = evaluate(name, BENCH_SCALE);
-                assert!(row.slip.halted);
-                row.slip.ipc
-            })
+        time(&format!("paper_rows/evaluate/{name}"), || {
+            let row: BenchRow = evaluate(name, BENCH_SCALE);
+            assert!(row.slip.halted);
+            row.slip.ipc
         });
     }
-    g.finish();
-}
 
-/// Figure 6's constituent: a slipstream CMP run.
-fn bench_fig6_slipstream(c: &mut Criterion) {
+    // Figure 6's constituent: a slipstream CMP run.
     let w = benchmark("m88ksim", BENCH_SCALE).unwrap();
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
-    g.bench_function("slipstream/m88ksim", |b| {
-        b.iter_batched(
-            || SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &w.program),
-            |mut p| {
-                assert!(p.run(50_000_000));
-                p.stats().ipc
-            },
-            BatchSize::SmallInput,
-        )
+    time("fig6/slipstream/m88ksim", || {
+        let mut p = SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &w.program);
+        assert!(p.run(50_000_000));
+        p.stats().ipc
     });
-    g.finish();
-}
 
-/// Figure 7's constituents: the two superscalar baselines.
-fn bench_fig7_baselines(c: &mut Criterion) {
+    // Figure 7's constituents: the two superscalar baselines.
     let w = benchmark("jpeg", BENCH_SCALE).unwrap();
     let cfg = SlipstreamConfig::cmp_2x64x4();
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("ss64x4/jpeg", |b| {
-        b.iter(|| run_superscalar(CoreConfig::ss_64x4(), cfg.trace_pred, &w.program, 50_000_000))
+    time("fig7/ss64x4/jpeg", || {
+        run_superscalar(
+            CoreConfig::ss_64x4(),
+            cfg.trace_pred,
+            &w.program,
+            50_000_000,
+        )
     });
-    g.bench_function("ss128x8/jpeg", |b| {
-        b.iter(|| run_superscalar(CoreConfig::ss_128x8(), cfg.trace_pred, &w.program, 50_000_000))
+    time("fig7/ss128x8/jpeg", || {
+        run_superscalar(
+            CoreConfig::ss_128x8(),
+            cfg.trace_pred,
+            &w.program,
+            50_000_000,
+        )
     });
-    g.finish();
-}
 
-/// Figure 8's ablation: branches-only removal policy.
-fn bench_fig8_policies(c: &mut Criterion) {
+    // Figure 8's ablation: removal policies.
     let w = benchmark("m88ksim", BENCH_SCALE).unwrap();
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
     for (label, policy) in [
         ("all_triggers", RemovalPolicy::all()),
         ("branches_only", RemovalPolicy::branches_only()),
     ] {
         let mut cfg = SlipstreamConfig::cmp_2x64x4();
         cfg.removal = policy;
-        let program = w.program.clone();
-        g.bench_function(format!("{label}/m88ksim"), |b| {
-            b.iter_batched(
-                || SlipstreamProcessor::new(cfg.clone(), &program),
-                |mut p| {
-                    assert!(p.run(50_000_000));
-                    p.stats().removal_fraction
-                },
-                BatchSize::SmallInput,
-            )
+        time(&format!("fig8/{label}/m88ksim"), || {
+            let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+            assert!(p.run(50_000_000));
+            p.stats().removal_fraction
         });
     }
-    g.finish();
-}
 
-/// Simulator-layer throughput: functional ISA interpreter.
-fn bench_functional_simulator(c: &mut Criterion) {
+    // Simulator-layer throughput: functional ISA interpreter.
     let w = benchmark("compress", 0.1).unwrap();
-    let mut g = c.benchmark_group("throughput");
-    g.bench_function("functional/compress", |b| {
-        b.iter(|| {
-            let mut st = ArchState::new(&w.program);
-            st.run_quiet(&w.program, 100_000_000).unwrap()
-        })
+    time("throughput/functional/compress", || {
+        let mut st = ArchState::new(&w.program);
+        st.run_quiet(&w.program, 100_000_000).unwrap()
     });
-    g.finish();
-}
 
-/// Simulator-layer throughput: one out-of-order core with oracle control
-/// flow (upper bound on single-core simulation speed).
-fn bench_cycle_core(c: &mut Criterion) {
+    // Simulator-layer throughput: one out-of-order core with oracle control
+    // flow (upper bound on single-core simulation speed).
     let w = benchmark("compress", 0.05).unwrap();
-    let mut g = c.benchmark_group("throughput");
-    g.sample_size(10);
-    g.bench_function("cycle_core/compress", |b| {
-        b.iter_batched(
-            || {
-                (
-                    Core::new(CoreConfig::ss_64x4(), w.program.initial_memory()),
-                    OracleDriver::new(&w.program),
-                )
-            },
-            |(mut core, mut driver)| {
-                while !core.halted() {
-                    core.cycle(&mut driver);
-                }
-                core.stats().retired
-            },
-            BatchSize::SmallInput,
-        )
+    time("throughput/cycle_core/compress", || {
+        let mut core = Core::new(CoreConfig::ss_64x4(), w.program.initial_memory());
+        let mut driver = OracleDriver::new(&w.program);
+        let mut retired: Vec<Retired> = Vec::new();
+        while !core.halted() {
+            core.cycle(&mut driver, &mut retired);
+        }
+        core.stats().retired
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_paper_rows,
-    bench_fig6_slipstream,
-    bench_fig7_baselines,
-    bench_fig8_policies,
-    bench_functional_simulator,
-    bench_cycle_core,
-);
-criterion_main!(benches);

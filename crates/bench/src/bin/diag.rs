@@ -37,12 +37,21 @@ fn main() {
             let a = s.a_core;
             println!(
                 "    R: cycles={} retired={} ipc={:.2} fetch_stall={} rob_full={} dmiss={} bm={}",
-                r.cycles, r.retired, r.ipc(), r.fetch_stall_cycles, r.rob_full_cycles,
-                r.dcache_misses, r.branch_mispredicts
+                r.cycles,
+                r.retired,
+                r.ipc(),
+                r.fetch_stall_cycles,
+                r.rob_full_cycles,
+                r.dcache_misses,
+                r.branch_mispredicts
             );
             println!(
                 "    A: cycles={} retired={} ipc={:.2} fetch_stall={} rob_full={} bm={}",
-                a.cycles, a.retired, a.ipc(), a.fetch_stall_cycles, a.rob_full_cycles,
+                a.cycles,
+                a.retired,
+                a.ipc(),
+                a.fetch_stall_cycles,
+                a.rob_full_cycles,
                 a.branch_mispredicts
             );
         }

@@ -4,8 +4,8 @@
 use std::collections::HashMap;
 
 use slipstream_core::{IrDetector, RemovalPolicy};
-use slipstream_predict::TraceBuilder;
 use slipstream_isa::ArchState;
+use slipstream_predict::TraceBuilder;
 use slipstream_workloads::benchmark;
 
 fn main() {

@@ -57,8 +57,13 @@ fn main() {
                         bits.push(format!("{}:{}", i, out.info.reasons[i]));
                     }
                 }
-                println!("trace@{:#x} len {} vec {:08x} [{}]",
-                    out.id.start_pc, out.id.len, out.info.ir_vec, bits.join(" "));
+                println!(
+                    "trace@{:#x} len {} vec {:08x} [{}]",
+                    out.id.start_pc,
+                    out.id.len,
+                    out.info.ir_vec,
+                    bits.join(" ")
+                );
             }
         }
     }

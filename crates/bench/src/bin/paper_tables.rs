@@ -23,9 +23,21 @@ fn main() {
 
     eprintln!("running fault-injection campaigns ...");
     println!("Section 3 / Figure 5: transient-fault scenarios (m88ksim analogue).");
-    let a = fault_campaign("m88ksim", (scale * 0.25).max(0.02), FaultTarget::AStream, 24, 7);
+    let a = fault_campaign(
+        "m88ksim",
+        (scale * 0.25).max(0.02),
+        FaultTarget::AStream,
+        24,
+        7,
+    );
     print_campaign("faults in A-stream", &a);
-    let r = fault_campaign("m88ksim", (scale * 0.25).max(0.02), FaultTarget::RStream, 24, 8);
+    let r = fault_campaign(
+        "m88ksim",
+        (scale * 0.25).max(0.02),
+        FaultTarget::RStream,
+        24,
+        8,
+    );
     print_campaign("faults in R-stream", &r);
 }
 

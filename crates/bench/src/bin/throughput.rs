@@ -1,0 +1,168 @@
+//! Simulator throughput harness: how fast does the *simulator itself* run?
+//!
+//! Runs every suite workload to completion on the SS(64x4) baseline and the
+//! CMP(2x64x4) slipstream model, timing each run with `std::time::Instant`,
+//! and reports simulated instructions/second and cycles/second (best of
+//! `reps` runs, to shed warm-up and scheduler noise). Results go to stdout
+//! as a table and to `BENCH_throughput.json` for machine consumption.
+//!
+//! Usage: `throughput [scale] [reps]` — `scale` stretches the workload
+//! suite (default 1.0), `reps` is runs per measurement (default 3).
+
+use std::time::Instant;
+
+use slipstream_bench::MAX_CYCLES;
+use slipstream_core::{run_superscalar, SlipstreamConfig, SlipstreamProcessor};
+use slipstream_cpu::CoreConfig;
+use slipstream_workloads::suite;
+
+/// One timed simulation: what ran, how much it simulated, how long it took.
+struct Measurement {
+    bench: &'static str,
+    model: &'static str,
+    instructions: u64,
+    cycles: u64,
+    /// Best-of-reps wall time in seconds.
+    seconds: f64,
+}
+
+impl Measurement {
+    fn instrs_per_sec(&self) -> f64 {
+        self.instructions as f64 / self.seconds
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.seconds
+    }
+}
+
+/// Times `f` `reps` times and keeps the fastest run's wall time, trusting
+/// `f` to return the same (instructions, cycles) every repetition.
+fn best_of<F: FnMut() -> (u64, u64)>(reps: u32, mut f: F) -> (u64, u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut counts = (0, 0);
+    for _ in 0..reps {
+        let start = Instant::now();
+        counts = std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (counts.0, counts.1, best)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map_or(1.0, |s| s.parse().expect("scale must be a number"));
+    let reps: u32 = args
+        .next()
+        .map_or(3, |s| s.parse().expect("reps must be an integer"))
+        .max(1);
+
+    let workloads = suite(scale);
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "benchmark", "model", "instrs", "cycles", "wall s", "instrs/s", "cycles/s"
+    );
+    for w in &workloads {
+        let (instrs, cycles, secs) = best_of(reps, || {
+            let stats = run_superscalar(
+                CoreConfig::ss_64x4(),
+                cfg.trace_pred,
+                &w.program,
+                MAX_CYCLES,
+            );
+            assert!(stats.halted, "{}: SS(64x4) did not complete", w.name);
+            (stats.core.retired, stats.core.cycles)
+        });
+        rows.push(Measurement {
+            bench: w.name,
+            model: "ss64",
+            instructions: instrs,
+            cycles,
+            seconds: secs,
+        });
+
+        let (instrs, cycles, secs) = best_of(reps, || {
+            let mut proc = SlipstreamProcessor::new(cfg.clone(), &w.program);
+            assert!(
+                proc.run(MAX_CYCLES),
+                "{}: slipstream did not complete",
+                w.name
+            );
+            let stats = proc.stats();
+            // Count work on both cores: the simulator executes A- and
+            // R-stream instructions even though IPC only counts R.
+            (stats.a_retired + stats.r_retired, stats.cycles)
+        });
+        rows.push(Measurement {
+            bench: w.name,
+            model: "slipstream",
+            instructions: instrs,
+            cycles,
+            seconds: secs,
+        });
+
+        for r in &rows[rows.len() - 2..] {
+            println!(
+                "{:<10} {:<14} {:>12} {:>12} {:>9.3} {:>12.0} {:>12.0}",
+                r.bench,
+                r.model,
+                r.instructions,
+                r.cycles,
+                r.seconds,
+                r.instrs_per_sec(),
+                r.cycles_per_sec()
+            );
+        }
+    }
+
+    let total_instrs: u64 = rows.iter().map(|r| r.instructions).sum();
+    let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+    let total_secs: f64 = rows.iter().map(|r| r.seconds).sum();
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>9.3} {:>12.0} {:>12.0}",
+        "TOTAL",
+        "",
+        total_instrs,
+        total_cycles,
+        total_secs,
+        total_instrs as f64 / total_secs,
+        total_cycles as f64 / total_secs
+    );
+
+    // Hand-rolled JSON: the workspace has no serde (and no registry access).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": {scale},\n  \"reps\": {reps},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"model\": \"{}\", \"instructions\": {}, \"cycles\": {}, \
+             \"seconds\": {:.6}, \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}{}\n",
+            r.bench,
+            r.model,
+            r.instructions,
+            r.cycles,
+            r.seconds,
+            r.instrs_per_sec(),
+            r.cycles_per_sec(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total\": {{\"instructions\": {}, \"cycles\": {}, \"seconds\": {:.6}, \
+         \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}\n",
+        total_instrs,
+        total_cycles,
+        total_secs,
+        total_instrs as f64 / total_secs,
+        total_cycles as f64 / total_secs
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+    eprintln!("wrote BENCH_throughput.json");
+}

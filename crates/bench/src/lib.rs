@@ -10,16 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use slipstream_core::{
-    golden_state, run_fault_experiment, run_superscalar, BaselineStats, FaultOutcome,
-    FaultTarget, RemovalPolicy, SlipstreamConfig, SlipstreamProcessor, SlipstreamStats,
+    golden_state, run_fault_experiment, run_superscalar, BaselineStats, FaultOutcome, FaultTarget,
+    RemovalPolicy, SlipstreamConfig, SlipstreamProcessor, SlipstreamStats,
 };
 use slipstream_cpu::{CoreConfig, FaultSpec};
 use slipstream_isa::ArchState;
-use slipstream_workloads::{benchmark, suite, Workload};
+use slipstream_workloads::{benchmark, suite, Workload, XorShift64Star};
 
 /// Cycle budget per run — far above anything a healthy run needs.
 pub const MAX_CYCLES: u64 = 50_000_000;
@@ -64,22 +61,47 @@ pub fn evaluate(name: &str, scale: f64) -> BenchRow {
 pub fn evaluate_workload(w: &Workload) -> BenchRow {
     let cfg = SlipstreamConfig::cmp_2x64x4();
 
-    let ss64 = run_superscalar(CoreConfig::ss_64x4(), cfg.trace_pred, &w.program, MAX_CYCLES);
+    let ss64 = run_superscalar(
+        CoreConfig::ss_64x4(),
+        cfg.trace_pred,
+        &w.program,
+        MAX_CYCLES,
+    );
     assert!(ss64.halted, "{}: SS(64x4) did not complete", w.name);
-    let ss128 = run_superscalar(CoreConfig::ss_128x8(), cfg.trace_pred, &w.program, MAX_CYCLES);
+    let ss128 = run_superscalar(
+        CoreConfig::ss_128x8(),
+        cfg.trace_pred,
+        &w.program,
+        MAX_CYCLES,
+    );
     assert!(ss128.halted, "{}: SS(128x8) did not complete", w.name);
 
     let mut slip_proc = SlipstreamProcessor::new(cfg.clone(), &w.program);
-    assert!(slip_proc.run(MAX_CYCLES), "{}: slipstream did not complete", w.name);
+    assert!(
+        slip_proc.run(MAX_CYCLES),
+        "{}: slipstream did not complete",
+        w.name
+    );
     let slip = slip_proc.stats();
 
     let mut br_cfg = cfg;
     br_cfg.removal = RemovalPolicy::branches_only();
     let mut br_proc = SlipstreamProcessor::new(br_cfg, &w.program);
-    assert!(br_proc.run(MAX_CYCLES), "{}: branches-only run did not complete", w.name);
+    assert!(
+        br_proc.run(MAX_CYCLES),
+        "{}: branches-only run did not complete",
+        w.name
+    );
     let slip_br = br_proc.stats();
 
-    BenchRow { name: w.name, dynamic: slip.r_retired, ss64, ss128, slip, slip_br }
+    BenchRow {
+        name: w.name,
+        dynamic: slip.r_retired,
+        ss64,
+        ss128,
+        slip,
+        slip_br,
+    }
 }
 
 /// Runs the full eight-benchmark suite.
@@ -125,7 +147,10 @@ pub fn print_fig6(rows: &[BenchRow]) {
 /// Figure 7: % IPC improvement of SS(128x8) over SS(64x4).
 pub fn print_fig7(rows: &[BenchRow]) {
     println!("Figure 7: Performance of SS(128x8) vs SS(64x4).");
-    println!("{:<10} {:>10} {:>10} {:>14}", "benchmark", "SS64 IPC", "SS128 IPC", "improvement");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14}",
+        "benchmark", "SS64 IPC", "SS128 IPC", "improvement"
+    );
     let mut sum = 0.0;
     for r in rows {
         println!(
@@ -152,7 +177,7 @@ pub fn removal_breakdown(stats: &SlipstreamStats) -> Vec<(String, f64)> {
             None => cats.push((label, *n)),
         }
     }
-    cats.sort_by(|a, b| b.1.cmp(&a.1));
+    cats.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     cats.into_iter()
         .map(|(l, n)| (l, 100.0 * n as f64 / stats.r_retired.max(1) as f64))
         .collect()
@@ -254,12 +279,12 @@ pub fn fault_campaign(
     let base_detections = clean.stats().ir_mispredictions;
     let dynamic = clean.stats().r_retired;
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::new(seed);
     let mut campaign = FaultCampaign::default();
     for _ in 0..n {
         let fault = FaultSpec {
-            seq: rng.gen_range(dynamic / 10..dynamic.saturating_sub(10)),
-            bit: rng.gen_range(0..16),
+            seq: rng.range_u64(dynamic / 10, dynamic.saturating_sub(10)),
+            bit: rng.below(16) as u8,
         };
         let report = run_fault_experiment(
             cfg.clone(),
@@ -292,4 +317,3 @@ pub fn print_campaign(label: &str, c: &FaultCampaign) {
         c.hangs
     );
 }
-

@@ -4,7 +4,7 @@
 //! prediction in all three processor models").
 
 use slipstream_cpu::{Core, CoreConfig, CoreStats};
-use slipstream_isa::Program;
+use slipstream_isa::{Program, Retired};
 use slipstream_predict::TracePredictorConfig;
 
 use crate::front_end::{FrontEndStats, TraceFrontEnd};
@@ -38,8 +38,9 @@ pub fn run_superscalar(
 ) -> BaselineStats {
     let mut core = Core::new(core_cfg, program.initial_memory());
     let mut fe = TraceFrontEnd::baseline(program, tp_cfg);
+    let mut retired: Vec<Retired> = Vec::new();
     while !core.halted() && core.now() < max_cycles {
-        core.cycle(&mut fe);
+        core.cycle(&mut fe, &mut retired);
     }
     BaselineStats {
         core: *core.stats(),
@@ -59,8 +60,9 @@ pub fn run_superscalar_with_core(
 ) -> (BaselineStats, Core) {
     let mut core = Core::new(core_cfg, program.initial_memory());
     let mut fe = TraceFrontEnd::baseline(program, tp_cfg);
+    let mut retired: Vec<Retired> = Vec::new();
     while !core.halted() && core.now() < max_cycles {
-        core.cycle(&mut fe);
+        core.cycle(&mut fe, &mut retired);
     }
     let stats = BaselineStats {
         core: *core.stats(),

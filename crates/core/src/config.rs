@@ -22,19 +22,31 @@ pub struct RemovalPolicy {
 impl RemovalPolicy {
     /// The paper's default: remove everything removable.
     pub fn all() -> RemovalPolicy {
-        RemovalPolicy { branches: true, dead_writes: true, silent_writes: true }
+        RemovalPolicy {
+            branches: true,
+            dead_writes: true,
+            silent_writes: true,
+        }
     }
 
     /// Figure 8 (bottom): branches and their chains only.
     pub fn branches_only() -> RemovalPolicy {
-        RemovalPolicy { branches: true, dead_writes: false, silent_writes: false }
+        RemovalPolicy {
+            branches: true,
+            dead_writes: false,
+            silent_writes: false,
+        }
     }
 
     /// No removal at all: the A-stream runs the full program. This is the
     /// AR-SMT operating mode (pure fault tolerance; the R-stream still
     /// receives all outcomes as predictions).
     pub fn none() -> RemovalPolicy {
-        RemovalPolicy { branches: false, dead_writes: false, silent_writes: false }
+        RemovalPolicy {
+            branches: false,
+            dead_writes: false,
+            silent_writes: false,
+        }
     }
 
     /// Whether any removal class is enabled.
@@ -102,8 +114,7 @@ impl SlipstreamConfig {
     /// `restores_per_cycle` per cycle (the paper's "minimum latency (no
     /// memory) = 21 cycles").
     pub fn min_recovery_latency(&self) -> u64 {
-        self.recovery_startup
-            + (slipstream_isa::NUM_REGS as u64).div_ceil(self.restores_per_cycle)
+        self.recovery_startup + (slipstream_isa::NUM_REGS as u64).div_ceil(self.restores_per_cycle)
     }
 
     /// Recovery latency when `mem_restores` memory locations must also be

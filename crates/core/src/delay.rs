@@ -243,8 +243,16 @@ mod tests {
     #[test]
     fn commits_flow_independently() {
         let mut db = DelayBuffer::new(4, 4);
-        let id = TraceId { start_pc: 0x1000, outcomes: 0, branch_count: 0, len: 3 };
-        db.push_commit(TraceCommit { id, used_vec: 0b010 });
+        let id = TraceId {
+            start_pc: 0x1000,
+            outcomes: 0,
+            branch_count: 0,
+            len: 3,
+        };
+        db.push_commit(TraceCommit {
+            id,
+            used_vec: 0b010,
+        });
         assert_eq!(db.peek_commit().unwrap().used_vec, 0b010);
         assert_eq!(db.pop_commit().unwrap().id, id);
         assert!(db.pop_commit().is_none());

@@ -130,7 +130,11 @@ impl IrDetector {
             scope: VecDeque::new(),
             current: None,
             next_trace_no: 0,
-            regs: [RegState { producer: None, referenced: false, value: 0 }; NUM_REGS],
+            regs: [RegState {
+                producer: None,
+                referenced: false,
+                value: 0,
+            }; NUM_REGS],
             mem: HashMap::new(),
             outputs: VecDeque::new(),
         }
@@ -153,7 +157,10 @@ impl IrDetector {
         }
         let cur_no = self.current.as_ref().expect("just ensured").trace_no;
         let slot = self.current.as_ref().expect("just ensured").nodes.len() as u8;
-        let me = Producer { trace_no: cur_no, slot };
+        let me = Producer {
+            trace_no: cur_no,
+            slot,
+        };
 
         // ---- source references (must precede destination processing so a
         // self-overwrite like `addi r1, r1, 1` counts as a reference).
@@ -167,16 +174,14 @@ impl IrDetector {
                 }
             }
         };
-        for src in [rec.src1, rec.src2] {
-            if let Some((r, _)) = src {
-                if !r.is_zero() {
-                    let prod = {
-                        let st = &mut self.regs[r.index()];
-                        st.referenced = true;
-                        st.producer
-                    };
-                    reference(prod, self);
-                }
+        for (r, _) in [rec.src1, rec.src2].into_iter().flatten() {
+            if !r.is_zero() {
+                let prod = {
+                    let st = &mut self.regs[r.index()];
+                    st.referenced = true;
+                    st.producer
+                };
+                reference(prod, self);
             }
         }
         if let Some(m) = rec.mem {
@@ -185,7 +190,6 @@ impl IrDetector {
                 reference(prod, self);
             }
         }
-        drop(reference);
 
         // ---- build and insert the node (consumer edges added below).
         let is_store = rec.mem.is_some_and(|m| m.is_store);
@@ -198,7 +202,9 @@ impl IrDetector {
             has_dest: rec.dest.is_some() || is_store,
             selected: false,
             reason: Reason::NONE,
-            store: rec.mem.and_then(|m| m.is_store.then_some((m.addr, m.width))),
+            store: rec
+                .mem
+                .and_then(|m| m.is_store.then_some((m.addr, m.width))),
         };
         {
             let cur = self.current.as_mut().expect("current exists");
@@ -218,8 +224,14 @@ impl IrDetector {
         let mut pending_select: Vec<(Producer, Reason)> = Vec::new();
 
         if self.policy.branches
-            && matches!(rec.instr, Instr::Beq { .. } | Instr::Bne { .. } | Instr::Blt { .. }
-                | Instr::Bge { .. } | Instr::J { .. })
+            && matches!(
+                rec.instr,
+                Instr::Beq { .. }
+                    | Instr::Bne { .. }
+                    | Instr::Blt { .. }
+                    | Instr::Bge { .. }
+                    | Instr::J { .. }
+            )
         {
             pending_select.push((me, Reason::BR));
         }
@@ -235,8 +247,11 @@ impl IrDetector {
                 if let Some(prod) = old.producer {
                     self.kill(prod, !old.referenced, &mut pending_select);
                 }
-                self.regs[d.index()] =
-                    RegState { producer: Some(me), referenced: false, value: v };
+                self.regs[d.index()] = RegState {
+                    producer: Some(me),
+                    referenced: false,
+                    value: v,
+                };
             }
         }
 
@@ -376,9 +391,7 @@ impl IrDetector {
         let overlapping: Vec<u64> = self
             .mem
             .iter()
-            .filter(|(&a, st)| {
-                a != addr && a < hi && addr < a + st.width.bytes() && a >= lo
-            })
+            .filter(|(&a, st)| a != addr && a < hi && addr < a + st.width.bytes() && a >= lo)
             .map(|(&a, _)| a)
             .collect();
         for a in overlapping {
@@ -388,8 +401,14 @@ impl IrDetector {
                 node.external_consumer = true;
             }
         }
-        self.mem
-            .insert(addr, MemState { producer: me, referenced: false, width });
+        self.mem.insert(
+            addr,
+            MemState {
+                producer: me,
+                referenced: false,
+                width,
+            },
+        );
     }
 
     /// Marks `p` killed; if `unreferenced`, its write was dynamic dead code
@@ -419,7 +438,10 @@ impl IrDetector {
             node.producers.clone()
         };
         for slot in producers {
-            self.try_select(Producer { trace_no: p.trace_no, slot });
+            self.try_select(Producer {
+                trace_no: p.trace_no,
+                slot,
+            });
         }
     }
 
@@ -427,7 +449,9 @@ impl IrDetector {
     /// consumers, and every same-trace consumer is already selected.
     fn try_select(&mut self, p: Producer) {
         let (eligible, inherited) = {
-            let Some(trace) = self.trace_of(p.trace_no) else { return };
+            let Some(trace) = self.trace_of(p.trace_no) else {
+                return;
+            };
             let node = &trace.nodes[p.slot as usize];
             if node.selected
                 || !node.killed
@@ -471,7 +495,9 @@ impl IrDetector {
     }
 
     fn evict_oldest(&mut self) {
-        let Some(t) = self.scope.pop_front() else { return };
+        let Some(t) = self.scope.pop_front() else {
+            return;
+        };
         let mut info = RemovalInfo::empty();
         let mut stores = Vec::new();
         for (i, node) in t.nodes.iter().enumerate() {
@@ -490,7 +516,11 @@ impl IrDetector {
             }
         }
         self.mem.retain(|_, st| st.producer.trace_no != t.trace_no);
-        self.outputs.push_back(DetectorOutput { id: t.id(), info, stores });
+        self.outputs.push_back(DetectorOutput {
+            id: t.id(),
+            info,
+            stores,
+        });
     }
 }
 
@@ -535,12 +565,18 @@ mod tests {
         // Two identical stores: the second writes the same value → SV.
         let out = analyse(
             "li r1, 4096\nli r2, 7\nst r2, 0(r1)\nst r2, 0(r1)\nhalt",
-            RemovalPolicy { branches: false, dead_writes: true, silent_writes: true },
+            RemovalPolicy {
+                branches: false,
+                dead_writes: true,
+                silent_writes: true,
+            },
         );
         let removed = all_reasons(&out);
         // Slot 3 is the second store.
         assert!(
-            removed.iter().any(|&(_, slot, r)| slot == 3 && r.contains(Reason::SV)),
+            removed
+                .iter()
+                .any(|&(_, slot, r)| slot == 3 && r.contains(Reason::SV)),
             "second store must be SV-selected, got {removed:?}"
         );
     }
@@ -550,11 +586,17 @@ mod tests {
         // r3 written then overwritten without a read.
         let out = analyse(
             "li r3, 5\nli r3, 6\nadd r4, r3, r3\nhalt",
-            RemovalPolicy { branches: false, dead_writes: true, silent_writes: false },
+            RemovalPolicy {
+                branches: false,
+                dead_writes: true,
+                silent_writes: false,
+            },
         );
         let removed = all_reasons(&out);
         assert!(
-            removed.iter().any(|&(_, slot, r)| slot == 0 && r.contains(Reason::WW)),
+            removed
+                .iter()
+                .any(|&(_, slot, r)| slot == 0 && r.contains(Reason::WW)),
             "first li must be WW-selected, got {removed:?}"
         );
         // The second li is referenced — must not be removed.
@@ -565,9 +607,16 @@ mod tests {
     fn referenced_write_is_not_dead() {
         let out = analyse(
             "li r3, 5\nadd r4, r3, r3\nli r3, 6\nadd r5, r3, r0\nhalt",
-            RemovalPolicy { branches: false, dead_writes: true, silent_writes: false },
+            RemovalPolicy {
+                branches: false,
+                dead_writes: true,
+                silent_writes: false,
+            },
         );
-        assert!(all_reasons(&out).is_empty(), "everything is referenced or live");
+        assert!(
+            all_reasons(&out).is_empty(),
+            "everything is referenced or live"
+        );
     }
 
     #[test]
@@ -576,7 +625,9 @@ mod tests {
         let out = analyse(src, RemovalPolicy::branches_only());
         let removed = all_reasons(&out);
         assert!(
-            removed.iter().any(|&(_, _, r)| r.contains(Reason::BR) && !r.is_propagated()),
+            removed
+                .iter()
+                .any(|&(_, _, r)| r.contains(Reason::BR) && !r.is_propagated()),
             "branches must be BR-selected, got {removed:?}"
         );
         let out2 = analyse(src, RemovalPolicy::none());
@@ -598,11 +649,17 @@ mod tests {
             add r3, r2, r0   ; keeps the second li alive
             halt
             "#,
-            RemovalPolicy { branches: false, dead_writes: true, silent_writes: true },
+            RemovalPolicy {
+                branches: false,
+                dead_writes: true,
+                silent_writes: true,
+            },
         );
         let removed = all_reasons(&out);
         assert!(
-            removed.iter().any(|&(_, slot, r)| slot == 4 && r.contains(Reason::SV) && !r.is_propagated()),
+            removed
+                .iter()
+                .any(|&(_, slot, r)| slot == 4 && r.contains(Reason::SV) && !r.is_propagated()),
             "silent store selected, got {removed:?}"
         );
         assert!(
@@ -630,7 +687,9 @@ mod tests {
         );
         let removed = all_reasons(&out);
         assert!(
-            removed.iter().any(|&(_, slot, r)| slot == 1 && r.is_propagated() && r.contains(Reason::BR)),
+            removed
+                .iter()
+                .any(|&(_, slot, r)| slot == 1 && r.is_propagated() && r.contains(Reason::BR)),
             "slti must be P:BR, got {removed:?}"
         );
     }
@@ -668,17 +727,22 @@ mod tests {
         // traces — what must NOT happen is back-propagation across traces.
         // Use a referenced value whose consumer is in another trace.
         let pad = "addi r20, r20, 1\n".repeat(31); // li + pad fill trace 0 exactly
-        let src = format!(
-            "li r5, 7\n{pad}add r6, r5, r0\nli r5, 8\nadd r7, r5, r6\nhalt"
-        );
+        let src = format!("li r5, 7\n{pad}add r6, r5, r0\nli r5, 8\nadd r7, r5, r6\nhalt");
         let out = analyse(
             &src,
-            RemovalPolicy { branches: false, dead_writes: true, silent_writes: false },
+            RemovalPolicy {
+                branches: false,
+                dead_writes: true,
+                silent_writes: false,
+            },
         );
         let removed = all_reasons(&out);
         // li r5, 7 (slot 0 of trace 0) is referenced by trace 1 → killed
         // later but referenced → not dead, and no cross-trace chain forms.
-        assert!(!removed.iter().any(|&(t, slot, _)| t == 0 && slot == 0), "got {removed:?}");
+        assert!(
+            !removed.iter().any(|&(t, slot, _)| t == 0 && slot == 0),
+            "got {removed:?}"
+        );
     }
 
     #[test]
@@ -689,11 +753,17 @@ mod tests {
         let src = format!("li r5, 7\n{pad}li r5, 8\nadd r7, r5, r0\nhalt");
         let out = analyse(
             &src,
-            RemovalPolicy { branches: false, dead_writes: true, silent_writes: false },
+            RemovalPolicy {
+                branches: false,
+                dead_writes: true,
+                silent_writes: false,
+            },
         );
         let removed = all_reasons(&out);
         assert!(
-            removed.iter().any(|&(t, slot, r)| t == 0 && slot == 0 && r.contains(Reason::WW)),
+            removed
+                .iter()
+                .any(|&(t, slot, r)| t == 0 && slot == 0 && r.contains(Reason::WW)),
             "got {removed:?}"
         );
     }
@@ -749,7 +819,10 @@ mod tests {
             det.push(rec, ended);
         }
         let before_finish = det.drain().len();
-        assert!(before_finish >= 12, "evictions must stream out, got {before_finish}");
+        assert!(
+            before_finish >= 12,
+            "evictions must stream out, got {before_finish}"
+        );
         det.finish();
         let after = det.drain().len();
         assert!(after >= 8, "finish flushes the in-scope tail, got {after}");
@@ -784,7 +857,11 @@ mod tests {
             add r5, r4, r0
             halt
             "#,
-            RemovalPolicy { branches: false, dead_writes: true, silent_writes: true },
+            RemovalPolicy {
+                branches: false,
+                dead_writes: true,
+                silent_writes: true,
+            },
         );
         let removed = all_reasons(&out);
         assert!(

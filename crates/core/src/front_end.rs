@@ -13,7 +13,7 @@ use std::collections::{HashMap, VecDeque};
 use slipstream_cpu::{CoreDriver, FetchItem};
 use slipstream_isa::{Instr, Program, Retired};
 use slipstream_predict::{
-    materialize, PathHistory, TraceId, TracePredictor, TracePredictorConfig, MAX_TRACE_LEN,
+    materialize_into, PathHistory, TraceId, TracePredictor, TracePredictorConfig, MAX_TRACE_LEN,
 };
 
 use crate::delay::{DelayEntry, TraceCommit};
@@ -141,7 +141,11 @@ pub struct TraceFrontEnd {
     next_pred: Option<TraceId>,
     fetch_pc: Option<u64>,
     next_meta: u64,
-    metas: HashMap<u64, ItemMeta>,
+    /// Per-item retire metadata, ordered by meta id. Items retire strictly
+    /// in dispatch (= insertion) order and redirects squash a strict
+    /// suffix, so a deque replaces the former per-instruction `HashMap`:
+    /// retire pops the front, redirect pops the tail.
+    metas: VecDeque<(u64, ItemMeta)>,
     pending_skips: Vec<SkipRec>,
     inflight: VecDeque<InflightTrace>,
     trace_counter: u64,
@@ -157,6 +161,10 @@ pub struct TraceFrontEnd {
     last_trace_at: HashMap<u64, TraceId>,
     commit: CommitBuilder,
     done: bool,
+    /// Reusable trace-PC buffer (filled by `materialize_into`/fallback).
+    pcs_scratch: Vec<u64>,
+    /// Reusable per-slot block-index buffer.
+    block_scratch: Vec<u32>,
 
     /// Delay entries produced at retirement (drained by the harness).
     pub out_entries: Vec<DelayEntry>,
@@ -215,7 +223,7 @@ impl TraceFrontEnd {
             ready: VecDeque::new(),
             next_pred: None,
             next_meta: 1,
-            metas: HashMap::new(),
+            metas: VecDeque::new(),
             pending_skips: Vec::new(),
             inflight: VecDeque::new(),
             trace_counter: 0,
@@ -224,6 +232,8 @@ impl TraceFrontEnd {
             last_trace_at: HashMap::new(),
             commit: CommitBuilder::default(),
             done: false,
+            pcs_scratch: Vec::new(),
+            block_scratch: Vec::new(),
             out_entries: Vec::new(),
             out_commits: Vec::new(),
             out_applied: Vec::new(),
@@ -260,47 +270,57 @@ impl TraceFrontEnd {
 
     // ---- fetch-side trace preparation ------------------------------------
 
-    /// Resolves the next trace to fetch:
-    /// `(used_id, pcs, next_start, predicted)`.
-    #[allow(clippy::type_complexity)]
-    fn resolve_next(&mut self) -> Option<(TraceId, Vec<u64>, Option<u64>, Option<TraceId>)> {
+    /// Resolves the next trace to fetch: `(used_id, next_start,
+    /// predicted)`, with the trace's PCs left in `self.pcs_scratch`.
+    fn resolve_next(&mut self) -> Option<(TraceId, Option<u64>, Option<TraceId>)> {
         let pred = self
             .next_pred
             .take()
             .or_else(|| self.predictor.predict(&self.spec_hist));
+        let mut pcs = std::mem::take(&mut self.pcs_scratch);
         let resolved = match (pred, self.fetch_pc) {
             (Some(id), Some(pc)) if id.start_pc == pc => {
-                materialize(&self.program, id).map(|m| (id, m.pcs, m.next_pc))
+                materialize_into(&self.program, id, &mut pcs).map(|npc| (id, npc))
             }
             (Some(_), Some(_)) | (None, Some(_)) => None, // fall back below
-            (Some(id), None) => materialize(&self.program, id).map(|m| (id, m.pcs, m.next_pc)),
-            (None, None) => return None,
-        };
-        match resolved {
-            Some((id, pcs, npc)) => {
-                self.stats.traces_predicted += 1;
-                Some((id, pcs, npc, pred))
+            (Some(id), None) => materialize_into(&self.program, id, &mut pcs).map(|npc| (id, npc)),
+            (None, None) => {
+                self.pcs_scratch = pcs;
+                return None;
             }
-            None => {
-                let pc = self.fetch_pc?;
+        };
+        let out = match resolved {
+            Some((id, npc)) => {
+                self.stats.traces_predicted += 1;
+                Some((id, npc, pred))
+            }
+            None => match self.fetch_pc {
                 // Trace-cache fallback: repeat the last committed path
                 // through this PC; otherwise construct statically.
-                let r = self
+                Some(pc) => self
                     .last_trace_at
                     .get(&pc)
                     .copied()
-                    .and_then(|id| materialize(&self.program, id).map(|m| (id, m.pcs, m.next_pc)))
-                    .or_else(|| self.fallback_trace(pc))?;
-                self.stats.traces_fallback += 1;
-                Some((r.0, r.1, r.2, pred))
-            }
-        }
+                    .and_then(|id| {
+                        materialize_into(&self.program, id, &mut pcs).map(|npc| (id, npc))
+                    })
+                    .or_else(|| self.fallback_trace(pc, &mut pcs))
+                    .map(|(id, npc)| {
+                        self.stats.traces_fallback += 1;
+                        (id, npc, pred)
+                    }),
+                None => None,
+            },
+        };
+        self.pcs_scratch = pcs;
+        out
     }
 
-    /// Statically constructs a trace from `pc`: branches assumed
-    /// not-taken, static jump targets followed, ends at `jr`/`halt`/32.
-    fn fallback_trace(&self, pc: u64) -> Option<(TraceId, Vec<u64>, Option<u64>)> {
-        let mut pcs = Vec::new();
+    /// Statically constructs a trace from `pc` into `pcs`: branches
+    /// assumed not-taken, static jump targets followed, ends at
+    /// `jr`/`halt`/32.
+    fn fallback_trace(&self, pc: u64, pcs: &mut Vec<u64>) -> Option<(TraceId, Option<u64>)> {
+        pcs.clear();
         let mut cur = pc;
         let mut branch_count = 0u8;
         let mut next_start = None;
@@ -331,7 +351,7 @@ impl TraceFrontEnd {
             branch_count,
             len: pcs.len() as u8,
         };
-        Some((id, pcs, next_start))
+        Some((id, next_start))
     }
 
     /// Fetches the remainder of the current canonical trace after a
@@ -339,7 +359,9 @@ impl TraceFrontEnd {
     /// (branches assumed not-taken) — the canonical trace id is rebuilt at
     /// retirement either way.
     fn prepare_continuation(&mut self) -> bool {
-        let Some(mut pc) = self.fetch_pc else { return false };
+        let Some(mut pc) = self.fetch_pc else {
+            return false;
+        };
         let remaining = MAX_TRACE_LEN as u8 - self.open_len;
         let mut emitted = 0u8;
         let mut closed = false;
@@ -350,8 +372,7 @@ impl TraceFrontEnd {
                 // nothing; the R-stream's checks will trigger recovery.
                 return emitted > 0;
             };
-            let ends = matches!(instr, Instr::Jr { .. } | Instr::Halt)
-                || emitted + 1 == remaining;
+            let ends = matches!(instr, Instr::Jr { .. } | Instr::Halt) || emitted + 1 == remaining;
             let pred_npc = match instr {
                 Instr::J { target } | Instr::Jal { target, .. } => target,
                 Instr::Jr { .. } => 0, // unknown: resolves via redirect
@@ -360,7 +381,7 @@ impl TraceFrontEnd {
             };
             let meta = self.next_meta;
             self.next_meta += 1;
-            self.metas.insert(
+            self.metas.push_back((
                 meta,
                 ItemMeta {
                     skips_before: Vec::new(),
@@ -368,7 +389,7 @@ impl TraceFrontEnd {
                     trace_no: self.open_trace_no,
                     canonical_pos: self.open_len + emitted,
                 },
-            );
+            ));
             self.ready.push_back(FetchItem {
                 pc,
                 instr,
@@ -419,16 +440,23 @@ impl TraceFrontEnd {
         if self.open_len > 0 {
             return self.prepare_continuation();
         }
-        let Some((used_id, pcs, next_start, predicted)) = self.resolve_next() else {
+        let Some((used_id, next_start, predicted)) = self.resolve_next() else {
             return false;
         };
+        let pcs = std::mem::take(&mut self.pcs_scratch);
         if std::env::var_os("SLIP_DEBUG_FE").is_some() {
             eprintln!(
                 "prep ctx={:016x} used=({:#x},{:x},bc{},l{}) pred={}",
                 self.spec_hist.context_hash(),
-                used_id.start_pc, used_id.outcomes, used_id.branch_count, used_id.len,
+                used_id.start_pc,
+                used_id.outcomes,
+                used_id.branch_count,
+                used_id.len,
                 match predicted {
-                    Some(p) => format!("({:#x},{:x},bc{},l{})", p.start_pc, p.outcomes, p.branch_count, p.len),
+                    Some(p) => format!(
+                        "({:#x},{:x},bc{},l{})",
+                        p.start_pc, p.outcomes, p.branch_count, p.len
+                    ),
                     None => "none".into(),
                 }
             );
@@ -439,23 +467,26 @@ impl TraceFrontEnd {
         self.spec_hist.push(used_id);
         let trace_no = self.trace_counter;
         self.trace_counter += 1;
-        self.inflight.push_back(InflightTrace { trace_no, used: used_id, predicted });
+        self.inflight.push_back(InflightTrace {
+            trace_no,
+            used: used_id,
+            predicted,
+        });
 
         // Removal lookup (A-stream only).
-        let removal: RemovalInfo = if self.removal_enabled
-            && self.pending_skips.len() < MAX_PENDING_SKIPS
-        {
-            match self.ir_table.removal_for(context_key, &used_id) {
-                Some(info) => {
-                    self.stats.traces_reduced += 1;
-                    self.out_applied.push((context_key, used_id));
-                    info
+        let removal: RemovalInfo =
+            if self.removal_enabled && self.pending_skips.len() < MAX_PENDING_SKIPS {
+                match self.ir_table.removal_for(context_key, &used_id) {
+                    Some(info) => {
+                        self.stats.traces_reduced += 1;
+                        self.out_applied.push((context_key, used_id));
+                        info
+                    }
+                    None => RemovalInfo::empty(),
                 }
-                None => RemovalInfo::empty(),
-            }
-        } else {
-            RemovalInfo::empty()
-        };
+            } else {
+                RemovalInfo::empty()
+            };
 
         self.open_trace_no = trace_no;
         let n = pcs.len();
@@ -477,7 +508,9 @@ impl TraceFrontEnd {
 
         // Per-slot block indices: a new block starts wherever the path is
         // not sequential.
-        let mut block = vec![0u32; n];
+        let mut block = std::mem::take(&mut self.block_scratch);
+        block.clear();
+        block.resize(n, 0);
         for i in 1..n {
             block[i] = block[i - 1] + u32::from(pcs[i] != pcs[i - 1] + 4);
         }
@@ -487,7 +520,10 @@ impl TraceFrontEnd {
         let mut skips_since_kept_in_block = 0u32;
         for i in 0..n {
             let pc = pcs[i];
-            let instr = *self.program.instr_at(pc).expect("materialized pcs are valid");
+            let instr = *self
+                .program
+                .instr_at(pc)
+                .expect("materialized pcs are valid");
             let pred_taken = instr.is_branch().then(|| used_id.outcome(branch_idx));
             if instr.is_branch() {
                 branch_idx += 1;
@@ -517,7 +553,7 @@ impl TraceFrontEnd {
             }
             let meta = self.next_meta;
             self.next_meta += 1;
-            self.metas.insert(
+            self.metas.push_back((
                 meta,
                 ItemMeta {
                     skips_before: std::mem::take(&mut self.pending_skips),
@@ -525,7 +561,7 @@ impl TraceFrontEnd {
                     trace_no,
                     canonical_pos: i as u8,
                 },
-            );
+            ));
             let (new_block, slot_cost) = match last_kept {
                 Some((_, b)) if b == block[i] => (false, 1 + skips_since_kept_in_block),
                 Some(_) => (true, 1),
@@ -546,6 +582,8 @@ impl TraceFrontEnd {
                 self.done = true;
             }
         }
+        self.block_scratch = block;
+        self.pcs_scratch = pcs;
         true
     }
 }
@@ -572,7 +610,12 @@ impl CoreDriver for TraceFrontEnd {
         self.pending_skips.clear();
         // Traces fetched beyond the redirecting one are wrong-path: drop
         // them and undo their speculative-history pushes.
-        let (cur_trace, pos, ended) = match self.metas.get(&meta) {
+        let (cur_trace, pos, ended) = match self
+            .metas
+            .binary_search_by_key(&meta, |&(k, _)| k)
+            .ok()
+            .map(|i| &self.metas[i].1)
+        {
             Some(m) => (m.trace_no, m.canonical_pos, m.ends_trace),
             None => (u64::MAX, 0, true),
         };
@@ -580,7 +623,11 @@ impl CoreDriver for TraceFrontEnd {
             self.inflight.pop_back();
             self.spec_hist.pop_recent();
         }
-        self.metas.retain(|&k, _| k <= meta);
+        // Meta ids are pushed in increasing order, so the wrong-path items
+        // are exactly the deque's tail beyond `meta`.
+        while self.metas.back().is_some_and(|&(k, _)| k > meta) {
+            self.metas.pop_back();
+        }
         // The canonical trace continues through the redirect unless the
         // redirecting instruction already closed it.
         if ended {
@@ -594,10 +641,11 @@ impl CoreDriver for TraceFrontEnd {
     }
 
     fn on_retire(&mut self, rec: &Retired, meta: u64) {
-        let m = self
+        let (key, m) = self
             .metas
-            .remove(&meta)
+            .pop_front()
             .expect("every dispatched item has retire metadata");
+        debug_assert_eq!(key, meta, "items retire in dispatch order");
         for skip in &m.skips_before {
             if let Some(c) = self.commit.feed(skip.pc, skip.taken, true, skip.ends_trace) {
                 self.finish_commit(c);
@@ -654,7 +702,10 @@ impl TraceFrontEnd {
         self.predictor.update(&self.retired_hist, c.id);
         self.retired_hist.push(c.id);
         self.last_trace_at.insert(c.id.start_pc, c.id);
-        *self.commit_histogram.entry((c.id.start_pc, c.id.len)).or_insert(0) += 1;
+        *self
+            .commit_histogram
+            .entry((c.id.start_pc, c.id.len))
+            .or_insert(0) += 1;
         if self.emit {
             self.out_commits.push(c);
         }

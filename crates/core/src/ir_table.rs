@@ -17,7 +17,10 @@ pub struct RemovalInfo {
 impl RemovalInfo {
     /// Removal info that removes nothing.
     pub fn empty() -> RemovalInfo {
-        RemovalInfo { ir_vec: 0, reasons: [Reason::NONE; 32] }
+        RemovalInfo {
+            ir_vec: 0,
+            reasons: [Reason::NONE; 32],
+        }
     }
 
     /// Number of removed slots.
@@ -70,7 +73,11 @@ impl IrTable {
     /// Creates a table holding at most `capacity` trace entries, asserting
     /// removal only after `threshold` consecutive identical observations.
     pub fn new(capacity: usize, threshold: u32) -> IrTable {
-        IrTable { entries: HashMap::new(), capacity, threshold }
+        IrTable {
+            entries: HashMap::new(),
+            capacity,
+            threshold,
+        }
     }
 
     /// Number of resident entries.
@@ -98,9 +105,15 @@ impl IrTable {
                 if std::env::var_os("SLIP_DEBUG_IRT").is_some() {
                     eprintln!(
                         "irt reset @{:#x}: id ({},{},{:x})->({},{},{:x}) vec {:08x}->{:08x}",
-                        id.start_pc, e.id.len, e.id.branch_count, e.id.outcomes,
-                        id.len, id.branch_count, id.outcomes,
-                        e.info.ir_vec, info.ir_vec
+                        id.start_pc,
+                        e.id.len,
+                        e.id.branch_count,
+                        e.id.outcomes,
+                        id.len,
+                        id.branch_count,
+                        id.outcomes,
+                        e.info.ir_vec,
+                        info.ir_vec
                     );
                 }
                 e.id = id;
@@ -118,7 +131,11 @@ impl IrTable {
         }
         self.entries.insert(
             key,
-            IrEntry { id, info, confidence: ResettingCounter::new(self.threshold) },
+            IrEntry {
+                id,
+                info,
+                confidence: ResettingCounter::new(self.threshold),
+            },
         );
     }
 
@@ -151,7 +168,12 @@ mod tests {
     use super::*;
 
     fn tid(pc: u64) -> TraceId {
-        TraceId { start_pc: pc, outcomes: 0, branch_count: 0, len: 8 }
+        TraceId {
+            start_pc: pc,
+            outcomes: 0,
+            branch_count: 0,
+            len: 8,
+        }
     }
 
     fn info(vec: u32) -> RemovalInfo {
@@ -161,7 +183,10 @@ mod tests {
                 *r = Reason::BR;
             }
         }
-        RemovalInfo { ir_vec: vec, reasons }
+        RemovalInfo {
+            ir_vec: vec,
+            reasons,
+        }
     }
 
     #[test]
@@ -169,10 +194,18 @@ mod tests {
         let mut t = IrTable::new(16, 3);
         let id = tid(0x1000);
         t.observe(id.start_pc, id, info(0b101));
-        assert_eq!(t.removal_for(id.start_pc, &id), None, "first observation installs, no confidence");
+        assert_eq!(
+            t.removal_for(id.start_pc, &id),
+            None,
+            "first observation installs, no confidence"
+        );
         t.observe(id.start_pc, id, info(0b101));
         t.observe(id.start_pc, id, info(0b101));
-        assert_eq!(t.removal_for(id.start_pc, &id), None, "threshold 3 needs 3 matching *re*-observations");
+        assert_eq!(
+            t.removal_for(id.start_pc, &id),
+            None,
+            "threshold 3 needs 3 matching *re*-observations"
+        );
         t.observe(id.start_pc, id, info(0b101));
         let r = t.removal_for(id.start_pc, &id).expect("confident now");
         assert_eq!(r.ir_vec, 0b101);
@@ -233,8 +266,18 @@ mod tests {
         // shared entry keeps resetting and neither variant is ever removed
         // (paper §2.1.3's "unstable traces").
         let mut t = IrTable::new(16, 2);
-        let a = TraceId { start_pc: 0x1000, outcomes: 0b0, branch_count: 1, len: 8 };
-        let b = TraceId { start_pc: 0x1000, outcomes: 0b1, branch_count: 1, len: 8 };
+        let a = TraceId {
+            start_pc: 0x1000,
+            outcomes: 0b0,
+            branch_count: 1,
+            len: 8,
+        };
+        let b = TraceId {
+            start_pc: 0x1000,
+            outcomes: 0b1,
+            branch_count: 1,
+            len: 8,
+        };
         for _ in 0..20 {
             t.observe(0x1000, a, info(0b1));
             t.observe(0x1000, b, info(0b1));

@@ -6,8 +6,8 @@ pub mod baseline;
 /// Processor and removal-policy configuration (paper Table 2).
 pub mod config;
 pub mod delay;
-pub mod fault;
 pub mod detector;
+pub mod fault;
 pub mod front_end;
 /// The IR-predictor's removal table (ir-vecs + confidence).
 pub mod ir_table;
@@ -19,9 +19,9 @@ pub mod slipstream;
 
 pub use baseline::{run_superscalar, run_superscalar_with_core, BaselineStats};
 pub use config::{RemovalPolicy, SlipstreamConfig};
-pub use fault::{golden_state, run_fault_experiment, FaultOutcome, FaultReport, FaultTarget};
 pub use delay::{DelayBuffer, DelayEntry, TraceCommit};
 pub use detector::{DetectorOutput, IrDetector};
+pub use fault::{golden_state, run_fault_experiment, FaultOutcome, FaultReport, FaultTarget};
 pub use front_end::{FrontEndStats, TraceFrontEnd};
 pub use ir_table::{IrTable, RemovalInfo};
 pub use recovery::{RecoveryController, RecoveryOutcome};

@@ -106,7 +106,9 @@ impl RecoveryController {
         }
         self.undo.clear();
         self.do_.clear();
-        RecoveryOutcome { mem_restored: locations.len() as u64 }
+        RecoveryOutcome {
+            mem_restored: locations.len() as u64,
+        }
     }
 
     /// Recovery latency for this event, per the paper's recovery pipeline:

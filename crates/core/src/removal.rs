@@ -179,7 +179,10 @@ mod tests {
         assert_eq!(Reason::BR.to_string(), "BR");
         assert_eq!(Reason::SV.union(Reason::WW).to_string(), "SV,WW");
         assert_eq!(Reason::PROP.union(Reason::BR).to_string(), "P: BR");
-        assert_eq!(Category::Propagated(Reason::SV.union(Reason::BR)).to_string(), "P: SV,BR");
+        assert_eq!(
+            Category::Propagated(Reason::SV.union(Reason::BR)).to_string(),
+            "P: SV,BR"
+        );
         assert_eq!(Reason::NONE.to_string(), "-");
     }
 

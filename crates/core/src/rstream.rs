@@ -134,7 +134,7 @@ impl CoreDriver for RStreamDriver {
         let e = self.delay.pop()?;
         let meta = self.next_meta;
         self.next_meta += 1;
-        let new_block = self.prev_pc.map_or(true, |p| p + 4 != e.pc);
+        let new_block = self.prev_pc.is_none_or(|p| p + 4 != e.pc);
         self.prev_pc = Some(e.pc);
         let pred_taken = e
             .taken

@@ -4,7 +4,6 @@
 //! recovery controller repairing the A-stream when removal went wrong
 //! (paper §2, Figure 1).
 
-
 use slipstream_cpu::{Core, CoreStats, FaultSpec};
 use slipstream_isa::{ArchState, Program, Retired};
 use slipstream_predict::{PathHistory, TraceId};
@@ -84,6 +83,9 @@ pub struct SlipstreamProcessor {
     mem_restored_sum: u64,
     last_r_progress: u64,
     strict: bool,
+    /// Reused per-cycle retirement buffers (the step loop never allocates).
+    a_retired: Vec<Retired>,
+    r_retired: Vec<Retired>,
     /// Online functional checker (paper §4): a functional simulator
     /// stepped in lockstep with R-stream retirement; any divergence is a
     /// simulator bug and panics immediately.
@@ -105,9 +107,14 @@ impl SlipstreamProcessor {
             cfg.removal,
             cfg.detector_scope,
         );
+        // Process replication: build the initial image once and clone it.
+        // Memory pages are copy-on-write, so the second image is O(pages)
+        // pointer copies and the streams un-share pages only as they write.
+        let a_image = program.initial_memory();
+        let r_image = a_image.clone();
         SlipstreamProcessor {
-            a_core: Core::new(cfg.core.clone(), program.initial_memory()),
-            r_core: Core::new(cfg.core.clone(), program.initial_memory()),
+            a_core: Core::new(cfg.core.clone(), a_image),
+            r_core: Core::new(cfg.core.clone(), r_image),
             program: program.clone(),
             a_fe,
             r_drv,
@@ -121,6 +128,8 @@ impl SlipstreamProcessor {
             mem_restored_sum: 0,
             last_r_progress: 0,
             strict: false,
+            a_retired: Vec::new(),
+            r_retired: Vec::new(),
             online_check: None,
             misp_log: Vec::new(),
             cfg,
@@ -183,7 +192,9 @@ impl SlipstreamProcessor {
         } else {
             self.r_drv.delay.free_data()
         };
-        self.a_core.cycle(&mut self.a_fe);
+        let mut a_retired = std::mem::take(&mut self.a_retired);
+        self.a_core.cycle(&mut self.a_fe, &mut a_retired);
+        self.a_retired = a_retired;
 
         // Route the A-stream's retirement output into the delay buffer and
         // the recovery controller.
@@ -195,14 +206,15 @@ impl SlipstreamProcessor {
             }
             self.r_drv.delay.push(e);
         }
-        self.applied_pending.extend(self.a_fe.out_applied.drain(..));
+        self.applied_pending.append(&mut self.a_fe.out_applied);
         for c in self.a_fe.out_commits.drain(..) {
             self.r_drv.delay.push_commit(c);
         }
 
         // Advance the R-stream.
         if !self.r_core.halted() {
-            let retired = self.r_core.cycle(&mut self.r_drv);
+            let mut retired = std::mem::take(&mut self.r_retired);
+            self.r_core.cycle(&mut self.r_drv, &mut retired);
             if let Some(checker) = &mut self.online_check {
                 for rec in &retired {
                     let want = checker
@@ -220,6 +232,7 @@ impl SlipstreamProcessor {
                 self.last_r_retired = Some(*last);
                 self.last_r_progress = self.cycles;
             }
+            self.r_retired = retired;
         }
 
         // Route R-stream store events to the recovery controller.
@@ -237,7 +250,9 @@ impl SlipstreamProcessor {
                 if c.used_vec & !out.info.ir_vec != 0 {
                     // The A-stream removed something the detector says was
                     // effectual: early IR-misprediction detection.
-                    self.r_drv.flag(IrMispKind::VecMismatch { trace_start: out.id.start_pc });
+                    self.r_drv.flag(IrMispKind::VecMismatch {
+                        trace_start: out.id.start_pc,
+                    });
                 } else {
                     for &(slot, addr, w) in &out.stores {
                         if (c.used_vec >> slot) & 1 == 1 {
@@ -294,7 +309,9 @@ impl SlipstreamProcessor {
         let latency = self
             .recovery
             .latency(self.cfg.recovery_startup, self.cfg.restores_per_cycle);
-        let outcome = self.recovery.recover(self.a_core.mem_mut(), self.r_core.mem());
+        let outcome = self
+            .recovery
+            .recover(self.a_core.mem_mut(), self.r_core.mem());
 
         self.a_core.flush();
         let r_regs = *self.r_core.arch_regs();
@@ -361,7 +378,11 @@ impl SlipstreamProcessor {
             cycles: self.cycles,
             r_retired: r.retired,
             a_retired: a.retired,
-            ipc: if self.cycles == 0 { 0.0 } else { r.retired as f64 / self.cycles as f64 },
+            ipc: if self.cycles == 0 {
+                0.0
+            } else {
+                r.retired as f64 / self.cycles as f64
+            },
             skipped,
             skipped_by_reason: by_reason,
             removal_fraction: if r.retired == 0 {

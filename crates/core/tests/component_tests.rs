@@ -3,9 +3,9 @@
 //! R-stream engine, each exercised against a real core.
 
 use slipstream_core::{
-    DelayEntry, IrTable, RStreamDriver, RemovalPolicy, RemovalInfo, Reason, TraceFrontEnd,
+    DelayEntry, IrTable, RStreamDriver, Reason, RemovalInfo, RemovalPolicy, TraceFrontEnd,
 };
-use slipstream_cpu::{Core, CoreConfig, CoreDriver};
+use slipstream_cpu::{Core, CoreConfig};
 use slipstream_isa::{assemble, ArchState, Program};
 use slipstream_predict::TracePredictorConfig;
 
@@ -18,8 +18,9 @@ fn loopy_program(iters: u64) -> Program {
 
 fn run_with_front_end(p: &Program, mut fe: TraceFrontEnd) -> (Core, TraceFrontEnd) {
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
+    let mut retired = Vec::new();
     while !core.halted() {
-        core.cycle(&mut fe);
+        core.cycle(&mut fe, &mut retired);
     }
     (core, fe)
 }
@@ -52,7 +53,10 @@ fn baseline_emits_nothing_astream_emits_everything() {
     let p = loopy_program(50);
     let fe = TraceFrontEnd::baseline(&p, TracePredictorConfig::default());
     let (_, fe) = run_with_front_end(&p, fe);
-    assert!(fe.out_entries.is_empty(), "baseline mode must not fill the delay buffer");
+    assert!(
+        fe.out_entries.is_empty(),
+        "baseline mode must not fill the delay buffer"
+    );
     assert!(fe.out_commits.is_empty());
 
     let fe = TraceFrontEnd::a_stream(
@@ -75,7 +79,11 @@ fn baseline_emits_nothing_astream_emits_everything() {
     // Entries must be a contiguous path: each entry's next_pc is the next
     // entry's pc.
     for pair in fe.out_entries.windows(2) {
-        assert_eq!(pair[0].next_pc, pair[1].pc, "broken path at {:#x}", pair[0].pc);
+        assert_eq!(
+            pair[0].next_pc, pair[1].pc,
+            "broken path at {:#x}",
+            pair[0].pc
+        );
     }
 }
 
@@ -142,7 +150,11 @@ fn front_end_commits_cover_the_whole_stream_despite_mispredicts() {
         true,
     );
     let (core, fe) = run_with_front_end(&p, fe);
-    assert_eq!(core.arch_regs(), gold.regs(), "redirect-heavy run stays correct");
+    assert_eq!(
+        core.arch_regs(),
+        gold.regs(),
+        "redirect-heavy run stays correct"
+    );
     let committed_slots: u64 = fe.out_commits.iter().map(|c| c.id.len as u64).sum();
     let entries = fe.out_entries.len() as u64;
     assert_eq!(
@@ -182,14 +194,22 @@ fn rstream_replays_a_faithful_delay_stream() {
         });
     }
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
+    let mut retired = Vec::new();
     while !core.halted() {
-        core.cycle(&mut drv);
+        core.cycle(&mut drv, &mut retired);
     }
     assert!(drv.ir_misp.is_none(), "a faithful stream never diverges");
     assert_eq!(core.stats().retired, trace.len() as u64);
-    assert_eq!(core.stats().branch_mispredicts, 0, "R-stream never mispredicts");
+    assert_eq!(
+        core.stats().branch_mispredicts,
+        0,
+        "R-stream never mispredicts"
+    );
     assert_eq!(core.arch_regs(), st.regs());
-    assert!(drv.value_hints > 0, "matching values must be used as predictions");
+    assert!(
+        drv.value_hints > 0,
+        "matching values must be used as predictions"
+    );
 }
 
 /// Corrupt one value in the delay stream: the R-stream must flag a value
@@ -220,8 +240,9 @@ fn rstream_flags_corrupted_delay_stream() {
         });
     }
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
+    let mut retired = Vec::new();
     for _ in 0..10_000 {
-        core.cycle(&mut drv);
+        core.cycle(&mut drv, &mut retired);
         if drv.ir_misp.is_some() {
             break;
         }
@@ -235,7 +256,7 @@ fn rstream_flags_corrupted_delay_stream() {
     // Frozen: no further fetch.
     let before = core.stats().dispatched;
     for _ in 0..50 {
-        core.cycle(&mut drv);
+        core.cycle(&mut drv, &mut retired);
     }
     assert!(
         core.stats().dispatched <= before + 64,
@@ -247,17 +268,16 @@ fn rstream_flags_corrupted_delay_stream() {
 /// traverse the pipeline and reach the detector.
 #[test]
 fn rstream_executes_skip_markers_without_checking() {
-    let p = assemble(
-        "li r1, 7\nli r2, 0x5000\nst r1, 0(r2)\nst r1, 0(r2)\nld r3, 0(r2)\nhalt",
-    )
-    .unwrap();
+    let p = assemble("li r1, 7\nli r2, 0x5000\nst r1, 0(r2)\nst r1, 0(r2)\nld r3, 0(r2)\nhalt")
+        .unwrap();
     let mut st = ArchState::new(&p);
     let trace = st.run(&p, 1_000).unwrap();
     let mut drv = RStreamDriver::new(1_000, 1_000, RemovalPolicy::all(), 8);
     for (i, rec) in trace.iter().enumerate() {
         // Mark the second (silent) store as skipped-by-A: no values.
         if i == 3 {
-            drv.delay.push(DelayEntry::skipped(rec.pc, rec.instr, rec.next_pc, false));
+            drv.delay
+                .push(DelayEntry::skipped(rec.pc, rec.instr, rec.next_pc, false));
         } else {
             drv.delay.push(DelayEntry {
                 pc: rec.pc,
@@ -275,11 +295,16 @@ fn rstream_executes_skip_markers_without_checking() {
         }
     }
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
+    let mut retired = Vec::new();
     while !core.halted() {
-        core.cycle(&mut drv);
+        core.cycle(&mut drv, &mut retired);
     }
     assert!(drv.ir_misp.is_none());
-    assert_eq!(core.stats().retired, trace.len() as u64, "skips still execute in R");
+    assert_eq!(
+        core.stats().retired,
+        trace.len() as u64,
+        "skips still execute in R"
+    );
     assert_eq!(
         drv.out_do_add,
         vec![(0x5000, slipstream_isa::MemWidth::Word)],
@@ -299,7 +324,12 @@ fn removal_info_reasons_survive_the_table() {
     info.reasons[0] = Reason::SV;
     info.reasons[1] = Reason::PROP.union(Reason::SV);
     let mut table = IrTable::new(16, 1);
-    let id = slipstream_predict::TraceId { start_pc: 0x40, outcomes: 0, branch_count: 0, len: 8 };
+    let id = slipstream_predict::TraceId {
+        start_pc: 0x40,
+        outcomes: 0,
+        branch_count: 0,
+        len: 8,
+    };
     table.observe(7, id, info);
     table.observe(7, id, info);
     let got = table.removal_for(7, &id).expect("confident");

@@ -6,8 +6,8 @@
 //! occur.
 
 use slipstream_core::{
-    golden_state, run_fault_experiment, run_superscalar, FaultOutcome, FaultTarget,
-    RemovalPolicy, SlipstreamConfig, SlipstreamProcessor,
+    golden_state, run_fault_experiment, run_superscalar, FaultOutcome, FaultTarget, RemovalPolicy,
+    SlipstreamConfig, SlipstreamProcessor,
 };
 use slipstream_cpu::FaultSpec;
 use slipstream_isa::{assemble, Program};
@@ -130,8 +130,16 @@ fn removal_covers_all_three_trigger_classes() {
         }
     }
     assert!(saw_br, "branch removal expected: {:?}", s.skipped_by_reason);
-    assert!(saw_sv, "silent-store removal expected: {:?}", s.skipped_by_reason);
-    assert!(saw_prop, "chain removal expected: {:?}", s.skipped_by_reason);
+    assert!(
+        saw_sv,
+        "silent-store removal expected: {:?}",
+        s.skipped_by_reason
+    );
+    assert!(
+        saw_prop,
+        "chain removal expected: {:?}",
+        s.skipped_by_reason
+    );
 }
 
 #[test]
@@ -162,7 +170,10 @@ fn ar_smt_mode_removes_nothing_but_still_helps() {
     let s = proc.stats();
     assert_eq!(s.skipped, 0);
     assert_eq!(s.ir_mispredictions, 0, "full redundancy never diverges");
-    assert!(s.value_hints > 0, "the R-stream still consumes value predictions");
+    assert!(
+        s.value_hints > 0,
+        "the R-stream still consumes value predictions"
+    );
     assert_eq!(s.a_retired, s.r_retired);
 }
 
@@ -347,7 +358,10 @@ fn fault_that_never_fires_is_masked() {
         cfg,
         &p,
         FaultTarget::RStream,
-        FaultSpec { seq: 10_000_000, bit: 3 },
+        FaultSpec {
+            seq: 10_000_000,
+            bit: 3,
+        },
         MAX_CYCLES,
         &golden,
         base,

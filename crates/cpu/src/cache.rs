@@ -37,9 +37,15 @@ impl Cache {
         assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes > 0);
         assert!(cfg.assoc > 0);
         let lines = cfg.bytes / cfg.line_bytes;
-        assert!(lines % cfg.assoc == 0, "capacity must divide evenly into sets");
+        assert!(
+            lines.is_multiple_of(cfg.assoc),
+            "capacity must divide evenly into sets"
+        );
         let num_sets = lines / cfg.assoc;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             cfg,
             sets: vec![Vec::with_capacity(cfg.assoc); num_sets],
@@ -66,7 +72,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
         let set_idx = (line & self.set_mask) as usize;
-        self.sets[set_idx].iter().any(|&t| t == line)
+        self.sets[set_idx].contains(&line)
     }
 
     /// Probes the line containing `addr`; returns `true` on a hit. A miss
@@ -114,7 +120,12 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets x 2 ways x 16B lines = 128 B
-        Cache::new(CacheConfig { bytes: 128, assoc: 2, line_bytes: 16, miss_penalty: 10 })
+        Cache::new(CacheConfig {
+            bytes: 128,
+            assoc: 2,
+            line_bytes: 16,
+            miss_penalty: 10,
+        })
     }
 
     #[test]
@@ -174,6 +185,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn degenerate_geometry_rejected() {
-        let _ = Cache::new(CacheConfig { bytes: 96, assoc: 1, line_bytes: 16, miss_penalty: 1 });
+        let _ = Cache::new(CacheConfig {
+            bytes: 96,
+            assoc: 1,
+            line_bytes: 16,
+            miss_penalty: 1,
+        });
     }
 }

@@ -44,7 +44,7 @@ impl CoreDriver for OracleDriver {
         }
         // A new fetch block starts wherever the dynamic stream is not
         // sequential (the target of a taken transfer) and at the entry.
-        let new_block = self.prev_pc.map_or(true, |p| p + 4 != rec.pc);
+        let new_block = self.prev_pc.is_none_or(|p| p + 4 != rec.pc);
         self.prev_pc = Some(rec.pc);
         Some(FetchItem {
             pc: rec.pc,

@@ -34,8 +34,9 @@
 //! let p = assemble("li r1, 100\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt")?;
 //! let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
 //! let mut driver = OracleDriver::new(&p);
+//! let mut retired = Vec::new(); // reused every cycle — the loop never allocates
 //! while !core.halted() {
-//!     core.cycle(&mut driver);
+//!     core.cycle(&mut driver, &mut retired);
 //! }
 //! assert!(core.stats().ipc() > 1.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

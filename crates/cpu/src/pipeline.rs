@@ -56,6 +56,12 @@ struct SpecMem<'a> {
 
 impl MemRead for SpecMem<'_> {
     fn load(&self, addr: u64, width: MemWidth) -> u64 {
+        // Fast path: with no store in flight (the common case) the
+        // speculative view is architectural memory itself, which resolves
+        // word loads with a single page lookup instead of 8 byte probes.
+        if self.stores.is_empty() {
+            return self.mem.load(addr, width);
+        }
         let n = width.bytes();
         let mut out = 0u64;
         for i in 0..n {
@@ -111,6 +117,8 @@ pub struct Core {
     pending_redirect: Option<u64>,
     /// Dispatched-but-unissued instructions (issue-queue occupancy).
     unissued: usize,
+    /// Reusable scratch for issue selection (avoids a per-cycle `Vec`).
+    issue_scratch: Vec<usize>,
     /// Busy-until cycle of each miss status holding register.
     mshrs: Vec<u64>,
     fault: Option<FaultSpec>,
@@ -143,6 +151,7 @@ impl Core {
             reg_producer: [None; NUM_REGS],
             pending_redirect: None,
             unissued: 0,
+            issue_scratch: Vec::new(),
             fault: None,
             halted: false,
             now: 0,
@@ -249,21 +258,26 @@ impl Core {
         self.last_progress = self.last_progress.max(cycle);
     }
 
-    /// Advances one cycle, returning the instructions retired this cycle
-    /// in program order.
+    /// Advances one cycle, depositing the instructions retired this cycle
+    /// in program order into `retired` (which is cleared first).
+    ///
+    /// The caller owns and reuses the buffer so the per-cycle hot loop
+    /// performs no allocation — at two cores × millions of cycles per run,
+    /// a fresh `Vec` per cycle was a measurable cost.
     ///
     /// # Panics
     ///
     /// Panics if the core makes no progress for an implausibly long time
     /// (an internal deadlock — indicates a simulator bug, not a program
     /// property).
-    pub fn cycle(&mut self, driver: &mut dyn CoreDriver) -> Vec<Retired> {
+    pub fn cycle(&mut self, driver: &mut dyn CoreDriver, retired: &mut Vec<Retired>) {
+        retired.clear();
         self.now += 1;
         self.stats.cycles += 1;
         // Resolve before retiring so a completing mispredicted branch
         // redirects the driver even if it also retires this cycle.
         self.resolve_redirect(driver);
-        let retired = self.retire(driver);
+        self.retire(driver, retired);
         self.issue();
         self.dispatch(driver);
         self.fetch(driver);
@@ -278,13 +292,11 @@ impl Core {
             self.rob.len(),
             self.rob.front().map(|e| e.rec.pc),
         );
-        retired
     }
 
     // ---- retire ---------------------------------------------------------
 
-    fn retire(&mut self, driver: &mut dyn CoreDriver) -> Vec<Retired> {
-        let mut out = Vec::new();
+    fn retire(&mut self, driver: &mut dyn CoreDriver, out: &mut Vec<Retired>) {
         let cap = self.cfg.width.min(driver.retire_capacity());
         while out.len() < cap {
             let ready = match self.rob.front() {
@@ -320,13 +332,14 @@ impl Core {
                 break;
             }
         }
-        out
     }
 
     // ---- redirect resolution -------------------------------------------
 
     fn resolve_redirect(&mut self, driver: &mut dyn CoreDriver) {
-        let Some(id) = self.pending_redirect else { return };
+        let Some(id) = self.pending_redirect else {
+            return;
+        };
         let Some(entry) = self.rob_entry(id) else {
             // The offending entry already retired (resolution happened at
             // an earlier cycle boundary); should not happen, but recover.
@@ -354,8 +367,10 @@ impl Core {
     fn issue(&mut self) {
         let mut issued = 0;
         let base = self.rob_base;
-        // Collect issue decisions first to appease the borrow checker.
-        let mut to_issue: Vec<usize> = Vec::new();
+        // Collect issue decisions first to appease the borrow checker,
+        // reusing one scratch buffer across cycles.
+        let mut to_issue = std::mem::take(&mut self.issue_scratch);
+        to_issue.clear();
         for idx in 0..self.rob.len() {
             if issued >= self.cfg.width {
                 break;
@@ -381,7 +396,7 @@ impl Core {
                 issued += 1;
             }
         }
-        for idx in to_issue {
+        for &idx in &to_issue {
             let Some(lat) = self.exec_latency(idx) else {
                 // Structural hazard (all MSHRs busy): retry next cycle.
                 continue;
@@ -391,6 +406,7 @@ impl Core {
             e.complete_cycle = Some(self.now + lat);
             self.unissued -= 1;
         }
+        self.issue_scratch = to_issue;
     }
 
     /// Latency of executing the instruction at ROB index `idx`, or `None`
@@ -458,15 +474,17 @@ impl Core {
                 self.stats.iq_full_cycles += 1;
                 break;
             }
-            let Some(item) = self.fetch_queue.front().copied() else { break };
+            let Some(item) = self.fetch_queue.front().copied() else {
+                break;
+            };
             if item.instr.is_store() && self.store_queue.len() >= self.cfg.store_queue {
                 break;
             }
             self.fetch_queue.pop_front();
             let rec = self.execute_functionally(&item);
             let hints = driver.on_dispatch(&rec, item.meta);
-            let mispredicted = !matches!(item.instr.kind(), InstrKind::Halt)
-                && rec.next_pc != item.pred_npc;
+            let mispredicted =
+                !matches!(item.instr.kind(), InstrKind::Halt) && rec.next_pc != item.pred_npc;
             self.admit(item, rec, hints);
             self.stats.dispatched += 1;
             if rec.taken.is_some() {
@@ -474,13 +492,19 @@ impl Core {
                 if mispredicted || item.pred_taken != rec.taken {
                     self.stats.branch_mispredicts += 1;
                     if std::env::var_os("SLIP_DEBUG_MISP").is_some() {
-                        eprintln!("misp pc {:#x} taken {:?} pred {:?}", rec.pc, rec.taken, item.pred_taken);
+                        eprintln!(
+                            "misp pc {:#x} taken {:?} pred {:?}",
+                            rec.pc, rec.taken, item.pred_taken
+                        );
                     }
                 }
             } else if mispredicted {
                 self.stats.jump_mispredicts += 1;
                 if std::env::var_os("SLIP_DEBUG_MISP").is_some() {
-                    eprintln!("misp pc {:#x} jump to {:#x} pred {:#x}", rec.pc, rec.next_pc, item.pred_npc);
+                    eprintln!(
+                        "misp pc {:#x} jump to {:#x} pred {:#x}",
+                        rec.pc, rec.next_pc, item.pred_npc
+                    );
                 }
             }
             if mispredicted {
@@ -505,7 +529,10 @@ impl Core {
         let v1 = s1.map_or(0, |r| self.spec_regs[r.index()]);
         let v2 = s2.map_or(0, |r| self.spec_regs[r.index()]);
         let mut out = {
-            let spec = SpecMem { mem: &self.mem, stores: &self.store_queue };
+            let spec = SpecMem {
+                mem: &self.mem,
+                stores: &self.store_queue,
+            };
             instr.exec(item.pc, v1, v2, &spec)
         };
         if self.fault.is_some_and(|f| f.seq == self.next_seq) {
@@ -513,9 +540,18 @@ impl Core {
             self.apply_fault(&instr, item.pc, f, &mut out);
         }
         let mem = if let Some((addr, width, value)) = out.store {
-            let spec = SpecMem { mem: &self.mem, stores: &self.store_queue };
+            let spec = SpecMem {
+                mem: &self.mem,
+                stores: &self.store_queue,
+            };
             let old = spec.load(addr, width);
-            Some(MemEffect { addr, width, value, old_value: Some(old), is_store: true })
+            Some(MemEffect {
+                addr,
+                width,
+                value,
+                old_value: Some(old),
+                is_store: true,
+            })
         } else if let (Some(addr), Some(value)) = (out.addr, out.loaded) {
             Some(MemEffect {
                 addr,
@@ -544,7 +580,13 @@ impl Core {
 
     /// Flips one bit of the instruction's produced value (dest register,
     /// store data, or branch outcome).
-    fn apply_fault(&mut self, instr: &slipstream_isa::Instr, pc: u64, f: FaultSpec, out: &mut ExecOut) {
+    fn apply_fault(
+        &mut self,
+        instr: &slipstream_isa::Instr,
+        pc: u64,
+        f: FaultSpec,
+        out: &mut ExecOut,
+    ) {
         self.stats.faults_injected += 1;
         if let Some((d, v)) = out.dest {
             out.dest = Some((d, v ^ (1u64 << (f.bit & 63))));
@@ -623,10 +665,7 @@ impl Core {
             return;
         }
         let mut slots_used: u32 = 0;
-        loop {
-            let Some(item) = self.pending_fetch.take().or_else(|| driver.next_fetch()) else {
-                break;
-            };
+        while let Some(item) = self.pending_fetch.take().or_else(|| driver.next_fetch()) {
             if self.fetch_queue.len() >= self.cfg.fetch_queue {
                 self.pending_fetch = Some(item);
                 break;

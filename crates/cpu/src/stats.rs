@@ -67,7 +67,12 @@ mod tests {
 
     #[test]
     fn ipc_and_rates() {
-        let s = CoreStats { cycles: 100, retired: 250, branch_mispredicts: 5, ..Default::default() };
+        let s = CoreStats {
+            cycles: 100,
+            retired: 250,
+            branch_mispredicts: 5,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.branch_mispredicts_per_kilo() - 20.0).abs() < 1e-12);
     }

@@ -4,15 +4,23 @@
 //! respond to ILP, branch mispredictions, and cache misses in the expected
 //! directions.
 
-use slipstream_cpu::{Core, CoreConfig, CoreDriver, DispatchHints, FetchItem, OracleDriver, StaticDriver};
+use slipstream_cpu::{
+    Core, CoreConfig, CoreDriver, DispatchHints, FetchItem, OracleDriver, StaticDriver,
+};
 use slipstream_isa::{assemble, ArchState, Program, Retired};
 
-fn run_to_halt(cfg: CoreConfig, program: &Program, driver: &mut dyn CoreDriver) -> (Core, Vec<Retired>) {
+fn run_to_halt(
+    cfg: CoreConfig,
+    program: &Program,
+    driver: &mut dyn CoreDriver,
+) -> (Core, Vec<Retired>) {
     let mut core = Core::new(cfg, program.initial_memory());
     let mut trace = Vec::new();
+    let mut retired = Vec::new();
     let mut guard = 0u64;
     while !core.halted() {
-        trace.extend(core.cycle(driver));
+        core.cycle(driver, &mut retired);
+        trace.extend_from_slice(&retired);
         guard += 1;
         assert!(guard < 5_000_000, "simulation did not converge");
     }
@@ -31,8 +39,14 @@ fn assert_oracle_equivalent(src: &str) {
     let p = assemble(src).expect("test program assembles");
     let (oracle_state, oracle_trace) = functional_trace(&p);
     for (name, driver) in [
-        ("oracle", Box::new(OracleDriver::new(&p)) as Box<dyn CoreDriver>),
-        ("static", Box::new(StaticDriver::new(&p)) as Box<dyn CoreDriver>),
+        (
+            "oracle",
+            Box::new(OracleDriver::new(&p)) as Box<dyn CoreDriver>,
+        ),
+        (
+            "static",
+            Box::new(StaticDriver::new(&p)) as Box<dyn CoreDriver>,
+        ),
     ] {
         let mut driver = driver;
         let (core, trace) = run_to_halt(CoreConfig::ss_64x4(), &p, driver.as_mut());
@@ -43,11 +57,27 @@ fn assert_oracle_equivalent(src: &str) {
         );
         for (got, want) in trace.iter().zip(&oracle_trace) {
             assert_eq!(got.pc, want.pc, "[{name}] pc diverged at seq {}", want.seq);
-            assert_eq!(got.dest, want.dest, "[{name}] dest diverged at pc {:#x}", want.pc);
-            assert_eq!(got.mem, want.mem, "[{name}] mem diverged at pc {:#x}", want.pc);
-            assert_eq!(got.taken, want.taken, "[{name}] branch diverged at pc {:#x}", want.pc);
+            assert_eq!(
+                got.dest, want.dest,
+                "[{name}] dest diverged at pc {:#x}",
+                want.pc
+            );
+            assert_eq!(
+                got.mem, want.mem,
+                "[{name}] mem diverged at pc {:#x}",
+                want.pc
+            );
+            assert_eq!(
+                got.taken, want.taken,
+                "[{name}] branch diverged at pc {:#x}",
+                want.pc
+            );
         }
-        assert_eq!(core.arch_regs(), oracle_state.regs(), "[{name}] final registers");
+        assert_eq!(
+            core.arch_regs(),
+            oracle_state.regs(),
+            "[{name}] final registers"
+        );
     }
 }
 
@@ -129,13 +159,18 @@ fn equivalence_byte_memory_and_overlap() {
 fn ilp_reaches_dispatch_width() {
     // 4-wide core, loop of fully independent instructions (warm caches):
     // IPC should approach the dispatch width of 4.
-    let body = (0..32).map(|i| format!("li r{}, {}\n", 1 + (i % 40), i)).collect::<String>();
+    let body = (0..32)
+        .map(|i| format!("li r{}, {}\n", 1 + (i % 40), i))
+        .collect::<String>();
     let src = format!("li r60, 200\nloop:\n{body}addi r60, r60, -1\nbne r60, r0, loop\nhalt");
     let p = assemble(&src).unwrap();
     let mut d = OracleDriver::new(&p);
     let (core, _) = run_to_halt(CoreConfig::ss_64x4(), &p, &mut d);
     let ipc = core.stats().ipc();
-    assert!(ipc > 3.0, "independent code should run near width 4, got {ipc:.2}");
+    assert!(
+        ipc > 3.0,
+        "independent code should run near width 4, got {ipc:.2}"
+    );
 }
 
 #[test]
@@ -145,8 +180,14 @@ fn dependence_chain_serializes() {
     let mut d = OracleDriver::new(&p);
     let (core, _) = run_to_halt(CoreConfig::ss_64x4(), &p, &mut d);
     let ipc = core.stats().ipc();
-    assert!(ipc < 1.3, "a serial dependence chain cannot exceed 1 IPC, got {ipc:.2}");
-    assert!(ipc > 0.7, "chain should still sustain about 1 IPC, got {ipc:.2}");
+    assert!(
+        ipc < 1.3,
+        "a serial dependence chain cannot exceed 1 IPC, got {ipc:.2}"
+    );
+    assert!(
+        ipc > 0.7,
+        "chain should still sustain about 1 IPC, got {ipc:.2}"
+    );
 }
 
 #[test]
@@ -179,7 +220,10 @@ fn static_prediction_pays_for_taken_branches() {
     let mut do_ = OracleDriver::new(&p);
     let (co, _) = run_to_halt(CoreConfig::ss_64x4(), &p, &mut do_);
     assert_eq!(co.stats().branch_mispredicts, 0);
-    assert!(cs.stats().branch_mispredicts >= 199, "every loop-back mispredicts");
+    assert!(
+        cs.stats().branch_mispredicts >= 199,
+        "every loop-back mispredicts"
+    );
     assert!(
         cs.stats().cycles > co.stats().cycles * 2,
         "mispredictions must cost cycles: static {} vs oracle {}",
@@ -264,7 +308,10 @@ impl CoreDriver for ValuePredictedOracle {
         self.0.on_redirect(resolved, meta);
     }
     fn on_dispatch(&mut self, _rec: &Retired, _meta: u64) -> DispatchHints {
-        DispatchHints { src1_predicted: true, src2_predicted: true }
+        DispatchHints {
+            src1_predicted: true,
+            src2_predicted: true,
+        }
     }
 }
 
@@ -307,7 +354,9 @@ impl CoreDriver for GatedOracle {
 
 #[test]
 fn retire_gating_throttles_but_preserves_results() {
-    let body = (0..200).map(|i| format!("li r{}, {}\n", 1 + (i % 40), i)).collect::<String>();
+    let body = (0..200)
+        .map(|i| format!("li r{}, {}\n", 1 + (i % 40), i))
+        .collect::<String>();
     let p = assemble(&format!("{body}halt")).unwrap();
     let (oracle_state, _) = functional_trace(&p);
     let mut gated = GatedOracle(OracleDriver::new(&p));
@@ -328,14 +377,19 @@ fn flush_discards_inflight_and_unhalts() {
     let mut d = OracleDriver::new(&p);
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
     // Enough cycles to ride out the cold I-cache miss and fill the window.
+    let mut retired = Vec::new();
     for _ in 0..20 {
-        core.cycle(&mut d);
+        core.cycle(&mut d, &mut retired);
     }
     assert!(core.in_flight() > 0, "pipeline should have filled");
     let arch_before = *core.arch_regs();
     core.flush();
     assert_eq!(core.in_flight(), 0);
-    assert_eq!(core.arch_regs(), &arch_before, "flush must not touch architectural state");
+    assert_eq!(
+        core.arch_regs(),
+        &arch_before,
+        "flush must not touch architectural state"
+    );
     assert!(!core.halted());
     assert_eq!(core.stats().flushes, 1);
 }

@@ -8,8 +8,10 @@ fn run(cfg: CoreConfig, p: &Program) -> (Core, Vec<Retired>) {
     let mut core = Core::new(cfg, p.initial_memory());
     let mut d = OracleDriver::new(p);
     let mut trace = Vec::new();
+    let mut retired = Vec::new();
     while !core.halted() {
-        trace.extend(core.cycle(&mut d));
+        core.cycle(&mut d, &mut retired);
+        trace.extend_from_slice(&retired);
     }
     (core, trace)
 }
@@ -21,7 +23,9 @@ fn run(cfg: CoreConfig, p: &Program) -> (Core, Vec<Retired>) {
 fn issue_queue_pressure_throttles_chains() {
     let chain = "slli r3, r2, 1\nxor r2, r2, r3\naddi r2, r2, 7\nsrli r3, r2, 3\nadd r2, r2, r3\n"
         .repeat(4);
-    let indep = (0..12).map(|i| format!("li r{}, {}\n", 10 + i, i)).collect::<String>();
+    let indep = (0..12)
+        .map(|i| format!("li r{}, {}\n", 10 + i, i))
+        .collect::<String>();
     // Seed the chain from the loop counter so iterations are independent:
     // a large window can overlap them, a clogged issue queue cannot.
     let src = format!(
@@ -93,8 +97,9 @@ fn fault_flips_destination_bit() {
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
     core.arm_fault(FaultSpec { seq: 2, bit: 0 }); // the add
     let mut d = OracleDriver::new(&p);
+    let mut retired = Vec::new();
     while !core.halted() {
-        core.cycle(&mut d);
+        core.cycle(&mut d, &mut retired);
     }
     assert_eq!(core.stats().faults_injected, 1);
     assert_eq!(core.arch_reg(Reg::new(3)), 24 ^ 1);
@@ -107,8 +112,9 @@ fn fault_flips_store_value() {
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
     core.arm_fault(FaultSpec { seq: 2, bit: 3 });
     let mut d = OracleDriver::new(&p);
+    let mut retired = Vec::new();
     while !core.halted() {
-        core.cycle(&mut d);
+        core.cycle(&mut d, &mut retired);
     }
     assert_eq!(core.mem().load_word(0x2000), 100 ^ 8);
 }
@@ -117,10 +123,9 @@ fn fault_flips_store_value() {
 /// "mispredicts" and takes the corrected (faulty) path.
 #[test]
 fn fault_flips_branch_outcome() {
-    let p = assemble(
-        "li r1, 1\nbeq r1, r0, taken\nli r2, 10\nj end\ntaken:\nli r2, 20\nend:\nhalt",
-    )
-    .unwrap();
+    let p =
+        assemble("li r1, 1\nbeq r1, r0, taken\nli r2, 10\nj end\ntaken:\nli r2, 20\nend:\nhalt")
+            .unwrap();
     // Functionally the branch is not taken → r2 = 10. Flip it.
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
     core.arm_fault(FaultSpec { seq: 1, bit: 0 });
@@ -137,8 +142,9 @@ fn fault_flips_branch_outcome() {
         }
     }
     let mut d = Tolerant(OracleDriver::new(&p), 0);
+    let mut retired = Vec::new();
     for _ in 0..200 {
-        core.cycle(&mut d);
+        core.cycle(&mut d, &mut retired);
         if core.halted() || d.1 != 0 {
             break;
         }
@@ -154,8 +160,9 @@ fn unfired_fault_is_harmless() {
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
     core.arm_fault(FaultSpec { seq: 1_000, bit: 0 });
     let mut d = OracleDriver::new(&p);
+    let mut retired = Vec::new();
     while !core.halted() {
-        core.cycle(&mut d);
+        core.cycle(&mut d, &mut retired);
     }
     assert_eq!(core.stats().faults_injected, 0);
     assert_eq!(core.arch_reg(Reg::new(1)), 5);
@@ -168,8 +175,9 @@ fn next_seq_tracks_dispatch_order() {
     let mut core = Core::new(CoreConfig::ss_64x4(), p.initial_memory());
     assert_eq!(core.next_seq(), 0);
     let mut d = OracleDriver::new(&p);
+    let mut retired = Vec::new();
     while !core.halted() {
-        core.cycle(&mut d);
+        core.cycle(&mut d, &mut retired);
     }
     assert_eq!(core.next_seq(), 4);
 }
@@ -201,7 +209,11 @@ fn structural_limits_never_change_results() {
         cfg.mshr_count = mshr;
         cfg.width = width;
         let (core, _) = run(cfg, &p);
-        assert_eq!(core.arch_regs(), gold.regs(), "iq={iq} mshr={mshr} w={width}");
+        assert_eq!(
+            core.arch_regs(),
+            gold.regs(),
+            "iq={iq} mshr={mshr} w={width}"
+        );
         assert_eq!(core.mem().first_difference(gold.mem()), None);
     }
 }

@@ -300,15 +300,17 @@ mod tests {
 
     #[test]
     fn memory_round_trip_with_old_value() {
-        let p = assemble(
-            "li r1, 4096\nli r2, 77\nst r2, 0(r1)\nst r2, 0(r1)\nld r3, 0(r1)\nhalt",
-        )
-        .unwrap();
+        let p = assemble("li r1, 4096\nli r2, 77\nst r2, 0(r1)\nst r2, 0(r1)\nld r3, 0(r1)\nhalt")
+            .unwrap();
         let mut st = ArchState::new(&p);
         let trace = st.run(&p, 100).unwrap();
         assert_eq!(st.reg(r(3)), 77);
         // First store sees old value 0; second (silent) store sees 77.
-        let stores: Vec<_> = trace.iter().filter_map(|t| t.mem).filter(|m| m.is_store).collect();
+        let stores: Vec<_> = trace
+            .iter()
+            .filter_map(|t| t.mem)
+            .filter(|m| m.is_store)
+            .collect();
         assert_eq!(stores[0].old_value, Some(0));
         assert_eq!(stores[1].old_value, Some(77));
         assert_eq!(stores[1].value, 77);
@@ -364,10 +366,7 @@ mod tests {
 
     #[test]
     fn jal_jr_call_return() {
-        let p = assemble(
-            "jal r31, func\nli r2, 2\nhalt\nfunc:\nli r1, 1\njr r31",
-        )
-        .unwrap();
+        let p = assemble("jal r31, func\nli r2, 2\nhalt\nfunc:\nli r1, 1\njr r31").unwrap();
         let mut st = ArchState::new(&p);
         st.run(&p, 100).unwrap();
         assert_eq!(st.reg(r(1)), 1);
@@ -385,7 +384,11 @@ mod tests {
     fn builder_program_executes() {
         let mut b = ProgramBuilder::new();
         b.push(Instr::Li { d: r(1), imm: 9 });
-        b.push(Instr::Addi { d: r(1), a: r(1), imm: 1 });
+        b.push(Instr::Addi {
+            d: r(1),
+            a: r(1),
+            imm: 1,
+        });
         b.push(Instr::Halt);
         let p = b.build();
         let mut st = ArchState::new(&p);
@@ -395,10 +398,7 @@ mod tests {
 
     #[test]
     fn byte_ops_zero_extend() {
-        let p = assemble(
-            "li r1, 4096\nli r2, 511\nstb r2, 0(r1)\nldb r3, 0(r1)\nhalt",
-        )
-        .unwrap();
+        let p = assemble("li r1, 4096\nli r2, 511\nstb r2, 0(r1)\nldb r3, 0(r1)\nhalt").unwrap();
         let mut st = ArchState::new(&p);
         st.run(&p, 10).unwrap();
         assert_eq!(st.reg(r(3)), 0xff);

@@ -82,7 +82,9 @@ struct Assembler {
 
 impl Assembler {
     fn new() -> Assembler {
-        Assembler { labels: HashMap::new() }
+        Assembler {
+            labels: HashMap::new(),
+        }
     }
 
     fn assemble(mut self, src: &str) -> Result<Program, AsmError> {
@@ -136,9 +138,9 @@ impl Assembler {
                     data.push((addr, Vec::new()));
                 }
                 ".word" => {
-                    let seg = data.last_mut().ok_or_else(|| {
-                        err(line, ".word outside a .data section".into())
-                    })?;
+                    let seg = data
+                        .last_mut()
+                        .ok_or_else(|| err(line, ".word outside a .data section".into()))?;
                     let cursor = mode_data_cursor.as_mut().expect("in data mode");
                     for field in rest.split(',') {
                         let v = parse_imm(field.trim(), line)?;
@@ -147,15 +149,15 @@ impl Assembler {
                     }
                 }
                 ".space" => {
-                    let seg = data.last_mut().ok_or_else(|| {
-                        err(line, ".space outside a .data section".into())
-                    })?;
+                    let seg = data
+                        .last_mut()
+                        .ok_or_else(|| err(line, ".space outside a .data section".into()))?;
                     let cursor = mode_data_cursor.as_mut().expect("in data mode");
                     let n = parse_imm(rest.trim(), line)?;
                     if n < 0 {
                         return Err(err(line, ".space size must be non-negative".into()));
                     }
-                    seg.1.extend(std::iter::repeat(0u8).take(n as usize));
+                    seg.1.extend(std::iter::repeat_n(0u8, n as usize));
                     *cursor += n as u64;
                 }
                 m if m.starts_with('.') => {
@@ -163,10 +165,7 @@ impl Assembler {
                 }
                 _ => {
                     if mode_data_cursor.is_some() {
-                        return Err(err(
-                            line,
-                            "instructions are not allowed after .data".into(),
-                        ));
+                        return Err(err(line, "instructions are not allowed after .data".into()));
                     }
                     let operands = parse_operands(rest, line)?;
                     pending.push(PendingInstr {
@@ -245,13 +244,21 @@ impl Assembler {
         macro_rules! rrr {
             ($variant:ident) => {{
                 want(3)?;
-                Instr::$variant { d: reg(0)?, a: reg(1)?, b: reg(2)? }
+                Instr::$variant {
+                    d: reg(0)?,
+                    a: reg(1)?,
+                    b: reg(2)?,
+                }
             }};
         }
         macro_rules! rri {
             ($variant:ident) => {{
                 want(3)?;
-                Instr::$variant { d: reg(0)?, a: reg(1)?, imm: self.imm_of(&ops[2], line)? }
+                Instr::$variant {
+                    d: reg(0)?,
+                    a: reg(1)?,
+                    imm: self.imm_of(&ops[2], line)?,
+                }
             }};
         }
         macro_rules! branch {
@@ -289,31 +296,54 @@ impl Assembler {
             "srai" => rri!(Srai),
             "li" => {
                 want(2)?;
-                Instr::Li { d: reg(0)?, imm: self.imm_of(&ops[1], line)? }
+                Instr::Li {
+                    d: reg(0)?,
+                    imm: self.imm_of(&ops[1], line)?,
+                }
             }
             "mv" => {
                 want(2)?;
-                Instr::Addi { d: reg(0)?, a: reg(1)?, imm: 0 }
+                Instr::Addi {
+                    d: reg(0)?,
+                    a: reg(1)?,
+                    imm: 0,
+                }
             }
             "ld" => {
                 want(2)?;
                 let (off, base) = memop(1)?;
-                Instr::Ld { d: reg(0)?, base, off }
+                Instr::Ld {
+                    d: reg(0)?,
+                    base,
+                    off,
+                }
             }
             "st" => {
                 want(2)?;
                 let (off, base) = memop(1)?;
-                Instr::St { s: reg(0)?, base, off }
+                Instr::St {
+                    s: reg(0)?,
+                    base,
+                    off,
+                }
             }
             "ldb" => {
                 want(2)?;
                 let (off, base) = memop(1)?;
-                Instr::Ldb { d: reg(0)?, base, off }
+                Instr::Ldb {
+                    d: reg(0)?,
+                    base,
+                    off,
+                }
             }
             "stb" => {
                 want(2)?;
                 let (off, base) = memop(1)?;
-                Instr::Stb { s: reg(0)?, base, off }
+                Instr::Stb {
+                    s: reg(0)?,
+                    base,
+                    off,
+                }
             }
             "beq" => branch!(Beq),
             "bne" => branch!(Bne),
@@ -321,11 +351,16 @@ impl Assembler {
             "bge" => branch!(Bge),
             "j" => {
                 want(1)?;
-                Instr::J { target: self.target_of(&ops[0], line)? }
+                Instr::J {
+                    target: self.target_of(&ops[0], line)?,
+                }
             }
             "jal" => {
                 want(2)?;
-                Instr::Jal { link: reg(0)?, target: self.target_of(&ops[1], line)? }
+                Instr::Jal {
+                    link: reg(0)?,
+                    target: self.target_of(&ops[1], line)?,
+                }
             }
             "jr" => {
                 want(1)?;
@@ -350,7 +385,9 @@ fn err(line: usize, msg: String) -> AsmError {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -443,7 +480,11 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert_eq!(
             p.instrs()[1],
-            Instr::Add { d: Reg::new(2), a: Reg::new(1), b: Reg::new(1) }
+            Instr::Add {
+                d: Reg::new(2),
+                a: Reg::new(1),
+                b: Reg::new(1)
+            }
         );
     }
 
@@ -452,7 +493,11 @@ mod tests {
         let p = assemble("start:\nbeq r0, r0, end\nj start\nend:\nhalt").unwrap();
         assert_eq!(
             p.instrs()[0],
-            Instr::Beq { a: Reg::ZERO, b: Reg::ZERO, target: 0x1008 }
+            Instr::Beq {
+                a: Reg::ZERO,
+                b: Reg::ZERO,
+                target: 0x1008
+            }
         );
         assert_eq!(p.instrs()[1], Instr::J { target: 0x1000 });
     }
@@ -472,16 +517,43 @@ mod tests {
     #[test]
     fn memory_operands() {
         let p = assemble("ld r1, 8(r2)\nst r1, -16(r3)\nldb r4, (r5)\nhalt").unwrap();
-        assert_eq!(p.instrs()[0], Instr::Ld { d: Reg::new(1), base: Reg::new(2), off: 8 });
-        assert_eq!(p.instrs()[1], Instr::St { s: Reg::new(1), base: Reg::new(3), off: -16 });
-        assert_eq!(p.instrs()[2], Instr::Ldb { d: Reg::new(4), base: Reg::new(5), off: 0 });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Ld {
+                d: Reg::new(1),
+                base: Reg::new(2),
+                off: 8
+            }
+        );
+        assert_eq!(
+            p.instrs()[1],
+            Instr::St {
+                s: Reg::new(1),
+                base: Reg::new(3),
+                off: -16
+            }
+        );
+        assert_eq!(
+            p.instrs()[2],
+            Instr::Ldb {
+                d: Reg::new(4),
+                base: Reg::new(5),
+                off: 0
+            }
+        );
     }
 
     #[test]
     fn data_sections_and_label_immediates() {
         let src = "li r1, table\nld r2, 0(r1)\nhalt\n.data 0x100000\ntable: .word 42, 43\nbuf: .space 16\nafter: .word 1";
         let p = assemble(src).unwrap();
-        assert_eq!(p.instrs()[0], Instr::Li { d: Reg::new(1), imm: 0x10_0000 });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Li {
+                d: Reg::new(1),
+                imm: 0x10_0000
+            }
+        );
         let mem = p.initial_memory();
         assert_eq!(mem.load_word(0x10_0000), 42);
         assert_eq!(mem.load_word(0x10_0008), 43);
@@ -493,7 +565,14 @@ mod tests {
     fn data_label_as_offset() {
         let src = "ld r1, table(r0)\nhalt\n.data 0x2000\ntable: .word 9";
         let p = assemble(src).unwrap();
-        assert_eq!(p.instrs()[0], Instr::Ld { d: Reg::new(1), base: Reg::ZERO, off: 0x2000 });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Ld {
+                d: Reg::new(1),
+                base: Reg::ZERO,
+                off: 0x2000
+            }
+        );
     }
 
     #[test]
@@ -505,15 +584,40 @@ mod tests {
     #[test]
     fn hex_and_underscore_immediates() {
         let p = assemble("li r1, 0xff\nli r2, 1_000\nli r3, -0x10\nhalt").unwrap();
-        assert_eq!(p.instrs()[0], Instr::Li { d: Reg::new(1), imm: 255 });
-        assert_eq!(p.instrs()[1], Instr::Li { d: Reg::new(2), imm: 1000 });
-        assert_eq!(p.instrs()[2], Instr::Li { d: Reg::new(3), imm: -16 });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Li {
+                d: Reg::new(1),
+                imm: 255
+            }
+        );
+        assert_eq!(
+            p.instrs()[1],
+            Instr::Li {
+                d: Reg::new(2),
+                imm: 1000
+            }
+        );
+        assert_eq!(
+            p.instrs()[2],
+            Instr::Li {
+                d: Reg::new(3),
+                imm: -16
+            }
+        );
     }
 
     #[test]
     fn pseudo_mv() {
         let p = assemble("mv r1, r2\nhalt").unwrap();
-        assert_eq!(p.instrs()[0], Instr::Addi { d: Reg::new(1), a: Reg::new(2), imm: 0 });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Addi {
+                d: Reg::new(1),
+                a: Reg::new(2),
+                imm: 0
+            }
+        );
     }
 
     #[test]

@@ -198,11 +198,29 @@ impl Instr {
     pub fn dest_reg(&self) -> Option<Reg> {
         use Instr::*;
         let d = match self {
-            Add { d, .. } | Sub { d, .. } | And { d, .. } | Or { d, .. } | Xor { d, .. }
-            | Slt { d, .. } | Sltu { d, .. } | Sll { d, .. } | Srl { d, .. } | Sra { d, .. }
-            | Mul { d, .. } | Div { d, .. } | Rem { d, .. } | Addi { d, .. } | Andi { d, .. }
-            | Ori { d, .. } | Xori { d, .. } | Slti { d, .. } | Slli { d, .. }
-            | Srli { d, .. } | Srai { d, .. } | Li { d, .. } | Ld { d, .. }
+            Add { d, .. }
+            | Sub { d, .. }
+            | And { d, .. }
+            | Or { d, .. }
+            | Xor { d, .. }
+            | Slt { d, .. }
+            | Sltu { d, .. }
+            | Sll { d, .. }
+            | Srl { d, .. }
+            | Sra { d, .. }
+            | Mul { d, .. }
+            | Div { d, .. }
+            | Rem { d, .. }
+            | Addi { d, .. }
+            | Andi { d, .. }
+            | Ori { d, .. }
+            | Xori { d, .. }
+            | Slti { d, .. }
+            | Slli { d, .. }
+            | Srli { d, .. }
+            | Srai { d, .. }
+            | Li { d, .. }
+            | Ld { d, .. }
             | Ldb { d, .. } => *d,
             Jal { link, .. } => *link,
             _ => return None,
@@ -218,14 +236,27 @@ impl Instr {
     pub fn src_regs(&self) -> (Option<Reg>, Option<Reg>) {
         use Instr::*;
         match self {
-            Add { a, b, .. } | Sub { a, b, .. } | And { a, b, .. } | Or { a, b, .. }
-            | Xor { a, b, .. } | Slt { a, b, .. } | Sltu { a, b, .. } | Sll { a, b, .. }
-            | Srl { a, b, .. } | Sra { a, b, .. } | Mul { a, b, .. } | Div { a, b, .. }
+            Add { a, b, .. }
+            | Sub { a, b, .. }
+            | And { a, b, .. }
+            | Or { a, b, .. }
+            | Xor { a, b, .. }
+            | Slt { a, b, .. }
+            | Sltu { a, b, .. }
+            | Sll { a, b, .. }
+            | Srl { a, b, .. }
+            | Sra { a, b, .. }
+            | Mul { a, b, .. }
+            | Div { a, b, .. }
             | Rem { a, b, .. } => (Some(*a), Some(*b)),
-            Addi { a, .. } | Andi { a, .. } | Ori { a, .. } | Xori { a, .. }
-            | Slti { a, .. } | Slli { a, .. } | Srli { a, .. } | Srai { a, .. } => {
-                (Some(*a), None)
-            }
+            Addi { a, .. }
+            | Andi { a, .. }
+            | Ori { a, .. }
+            | Xori { a, .. }
+            | Slti { a, .. }
+            | Slli { a, .. }
+            | Srli { a, .. }
+            | Srai { a, .. } => (Some(*a), None),
             Li { .. } => (None, None),
             Ld { base, .. } | Ldb { base, .. } => (Some(*base), None),
             St { base, s, .. } | Stb { base, s, .. } => (Some(*base), Some(*s)),
@@ -244,7 +275,10 @@ impl Instr {
 
     /// Whether this is any control-flow instruction (branch or jump or halt).
     pub fn is_control(&self) -> bool {
-        matches!(self.kind(), InstrKind::Branch | InstrKind::Jump | InstrKind::Halt)
+        matches!(
+            self.kind(),
+            InstrKind::Branch | InstrKind::Jump | InstrKind::Halt
+        )
     }
 
     /// Whether this instruction writes memory.
@@ -261,8 +295,12 @@ impl Instr {
     pub fn static_target(&self) -> Option<u64> {
         use Instr::*;
         match self {
-            Beq { target, .. } | Bne { target, .. } | Blt { target, .. } | Bge { target, .. }
-            | J { target } | Jal { target, .. } => Some(*target),
+            Beq { target, .. }
+            | Bne { target, .. }
+            | Blt { target, .. }
+            | Bge { target, .. }
+            | J { target }
+            | Jal { target, .. } => Some(*target),
             _ => None,
         }
     }
@@ -445,19 +483,136 @@ mod tests {
     #[test]
     fn alu_semantics() {
         let cases: Vec<(Instr, u64, u64, u64)> = vec![
-            (Instr::Add { d: r(1), a: r(2), b: r(3) }, 7, 8, 15),
-            (Instr::Sub { d: r(1), a: r(2), b: r(3) }, 7, 8, (-1i64) as u64),
-            (Instr::And { d: r(1), a: r(2), b: r(3) }, 0b1100, 0b1010, 0b1000),
-            (Instr::Or { d: r(1), a: r(2), b: r(3) }, 0b1100, 0b1010, 0b1110),
-            (Instr::Xor { d: r(1), a: r(2), b: r(3) }, 0b1100, 0b1010, 0b0110),
-            (Instr::Slt { d: r(1), a: r(2), b: r(3) }, (-5i64) as u64, 3, 1),
-            (Instr::Sltu { d: r(1), a: r(2), b: r(3) }, (-5i64) as u64, 3, 0),
-            (Instr::Sll { d: r(1), a: r(2), b: r(3) }, 1, 4, 16),
-            (Instr::Srl { d: r(1), a: r(2), b: r(3) }, 16, 4, 1),
-            (Instr::Sra { d: r(1), a: r(2), b: r(3) }, (-16i64) as u64, 4, (-1i64) as u64),
-            (Instr::Mul { d: r(1), a: r(2), b: r(3) }, 6, 7, 42),
-            (Instr::Div { d: r(1), a: r(2), b: r(3) }, 42, 7, 6),
-            (Instr::Rem { d: r(1), a: r(2), b: r(3) }, 43, 7, 1),
+            (
+                Instr::Add {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                7,
+                8,
+                15,
+            ),
+            (
+                Instr::Sub {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                7,
+                8,
+                (-1i64) as u64,
+            ),
+            (
+                Instr::And {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                0b1100,
+                0b1010,
+                0b1000,
+            ),
+            (
+                Instr::Or {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                0b1100,
+                0b1010,
+                0b1110,
+            ),
+            (
+                Instr::Xor {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                0b1100,
+                0b1010,
+                0b0110,
+            ),
+            (
+                Instr::Slt {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                (-5i64) as u64,
+                3,
+                1,
+            ),
+            (
+                Instr::Sltu {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                (-5i64) as u64,
+                3,
+                0,
+            ),
+            (
+                Instr::Sll {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                1,
+                4,
+                16,
+            ),
+            (
+                Instr::Srl {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                16,
+                4,
+                1,
+            ),
+            (
+                Instr::Sra {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                (-16i64) as u64,
+                4,
+                (-1i64) as u64,
+            ),
+            (
+                Instr::Mul {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                6,
+                7,
+                42,
+            ),
+            (
+                Instr::Div {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                42,
+                7,
+                6,
+            ),
+            (
+                Instr::Rem {
+                    d: r(1),
+                    a: r(2),
+                    b: r(3),
+                },
+                43,
+                7,
+                1,
+            ),
         ];
         for (instr, v1, v2, want) in cases {
             let out = instr.exec(0x1000, v1, v2, NoMem);
@@ -468,29 +623,49 @@ mod tests {
 
     #[test]
     fn division_by_zero_does_not_trap() {
-        let div = Instr::Div { d: r(1), a: r(2), b: r(3) };
+        let div = Instr::Div {
+            d: r(1),
+            a: r(2),
+            b: r(3),
+        };
         assert_eq!(div.exec(0, 10, 0, NoMem).dest, Some((r(1), u64::MAX)));
-        let rem = Instr::Rem { d: r(1), a: r(2), b: r(3) };
+        let rem = Instr::Rem {
+            d: r(1),
+            a: r(2),
+            b: r(3),
+        };
         assert_eq!(rem.exec(0, 10, 0, NoMem).dest, Some((r(1), 10)));
     }
 
     #[test]
     fn signed_overflow_wraps() {
-        let div = Instr::Div { d: r(1), a: r(2), b: r(3) };
+        let div = Instr::Div {
+            d: r(1),
+            a: r(2),
+            b: r(3),
+        };
         let out = div.exec(0, i64::MIN as u64, (-1i64) as u64, NoMem);
         assert_eq!(out.dest, Some((r(1), i64::MIN as u64)));
     }
 
     #[test]
     fn writes_to_r0_are_discarded() {
-        let instr = Instr::Add { d: Reg::ZERO, a: r(2), b: r(3) };
+        let instr = Instr::Add {
+            d: Reg::ZERO,
+            a: r(2),
+            b: r(3),
+        };
         assert_eq!(instr.dest_reg(), None);
         assert_eq!(instr.exec(0, 1, 2, NoMem).dest, None);
     }
 
     #[test]
     fn load_reads_memory_and_reports_address() {
-        let instr = Instr::Ld { d: r(5), base: r(2), off: 16 };
+        let instr = Instr::Ld {
+            d: r(5),
+            base: r(2),
+            off: 16,
+        };
         let out = instr.exec(0, 100, 0, NoMem);
         assert_eq!(out.addr, Some(116));
         assert_eq!(out.loaded, Some(0xdead_beef));
@@ -499,7 +674,11 @@ mod tests {
 
     #[test]
     fn store_reports_address_and_value_without_writing() {
-        let instr = Instr::St { s: r(5), base: r(2), off: -8 };
+        let instr = Instr::St {
+            s: r(5),
+            base: r(2),
+            off: -8,
+        };
         let out = instr.exec(0, 100, 77, NoMem);
         assert_eq!(out.addr, Some(92));
         assert_eq!(out.store, Some((92, MemWidth::Word, 77)));
@@ -508,14 +687,22 @@ mod tests {
 
     #[test]
     fn byte_store_truncates() {
-        let instr = Instr::Stb { s: r(5), base: r(2), off: 0 };
+        let instr = Instr::Stb {
+            s: r(5),
+            base: r(2),
+            off: 0,
+        };
         let out = instr.exec(0, 0, 0x1ff, NoMem);
         assert_eq!(out.store, Some((0, MemWidth::Byte, 0xff)));
     }
 
     #[test]
     fn branch_taken_and_not_taken() {
-        let beq = Instr::Beq { a: r(1), b: r(2), target: 0x2000 };
+        let beq = Instr::Beq {
+            a: r(1),
+            b: r(2),
+            target: 0x2000,
+        };
         let out = beq.exec(0x1000, 5, 5, NoMem);
         assert_eq!(out.taken, Some(true));
         assert_eq!(out.next_pc, 0x2000);
@@ -526,9 +713,17 @@ mod tests {
 
     #[test]
     fn signed_branch_compare() {
-        let blt = Instr::Blt { a: r(1), b: r(2), target: 0x40 };
+        let blt = Instr::Blt {
+            a: r(1),
+            b: r(2),
+            target: 0x40,
+        };
         assert_eq!(blt.exec(0, (-1i64) as u64, 0, NoMem).taken, Some(true));
-        let bge = Instr::Bge { a: r(1), b: r(2), target: 0x40 };
+        let bge = Instr::Bge {
+            a: r(1),
+            b: r(2),
+            target: 0x40,
+        };
         assert_eq!(bge.exec(0, (-1i64) as u64, 0, NoMem).taken, Some(false));
     }
 
@@ -536,7 +731,10 @@ mod tests {
     fn jumps_redirect_and_jal_links() {
         let j = Instr::J { target: 0x4000 };
         assert_eq!(j.exec(0x1000, 0, 0, NoMem).next_pc, 0x4000);
-        let jal = Instr::Jal { link: r(9), target: 0x4000 };
+        let jal = Instr::Jal {
+            link: r(9),
+            target: 0x4000,
+        };
         let out = jal.exec(0x1000, 0, 0, NoMem);
         assert_eq!(out.next_pc, 0x4000);
         assert_eq!(out.dest, Some((r(9), 0x1004)));
@@ -551,23 +749,72 @@ mod tests {
 
     #[test]
     fn kind_classification() {
-        assert_eq!(Instr::Mul { d: r(1), a: r(1), b: r(1) }.kind(), InstrKind::Mul);
-        assert_eq!(Instr::Div { d: r(1), a: r(1), b: r(1) }.kind(), InstrKind::Div);
-        assert_eq!(Instr::Ld { d: r(1), base: r(1), off: 0 }.kind(), InstrKind::Load);
-        assert_eq!(Instr::St { s: r(1), base: r(1), off: 0 }.kind(), InstrKind::Store);
         assert_eq!(
-            Instr::Beq { a: r(1), b: r(1), target: 0 }.kind(),
+            Instr::Mul {
+                d: r(1),
+                a: r(1),
+                b: r(1)
+            }
+            .kind(),
+            InstrKind::Mul
+        );
+        assert_eq!(
+            Instr::Div {
+                d: r(1),
+                a: r(1),
+                b: r(1)
+            }
+            .kind(),
+            InstrKind::Div
+        );
+        assert_eq!(
+            Instr::Ld {
+                d: r(1),
+                base: r(1),
+                off: 0
+            }
+            .kind(),
+            InstrKind::Load
+        );
+        assert_eq!(
+            Instr::St {
+                s: r(1),
+                base: r(1),
+                off: 0
+            }
+            .kind(),
+            InstrKind::Store
+        );
+        assert_eq!(
+            Instr::Beq {
+                a: r(1),
+                b: r(1),
+                target: 0
+            }
+            .kind(),
             InstrKind::Branch
         );
         assert_eq!(Instr::J { target: 0 }.kind(), InstrKind::Jump);
         assert_eq!(Instr::Halt.kind(), InstrKind::Halt);
         assert_eq!(Instr::Nop.kind(), InstrKind::Nop);
-        assert_eq!(Instr::Add { d: r(1), a: r(1), b: r(1) }.kind(), InstrKind::IntAlu);
+        assert_eq!(
+            Instr::Add {
+                d: r(1),
+                a: r(1),
+                b: r(1)
+            }
+            .kind(),
+            InstrKind::IntAlu
+        );
     }
 
     #[test]
     fn store_sources_are_base_then_value() {
-        let st = Instr::St { s: r(7), base: r(3), off: 0 };
+        let st = Instr::St {
+            s: r(7),
+            base: r(3),
+            off: 0,
+        };
         assert_eq!(st.src_regs(), (Some(r(3)), Some(r(7))));
         assert_eq!(st.dest_reg(), None);
     }
@@ -577,7 +824,12 @@ mod tests {
         assert_eq!(Instr::J { target: 0x99 }.static_target(), Some(0x99));
         assert_eq!(Instr::Jr { a: r(1) }.static_target(), None);
         assert_eq!(
-            Instr::Bne { a: r(1), b: r(2), target: 0x44 }.static_target(),
+            Instr::Bne {
+                a: r(1),
+                b: r(2),
+                target: 0x44
+            }
+            .static_target(),
             Some(0x44)
         );
     }

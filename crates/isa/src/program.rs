@@ -23,7 +23,11 @@ impl Program {
     /// Creates a program from raw parts. Most callers use
     /// [`crate::assemble`] or [`ProgramBuilder`] instead.
     pub fn new(text_base: u64, instrs: Vec<Instr>, data: Vec<(u64, Vec<u8>)>) -> Program {
-        Program { text_base, instrs, data }
+        Program {
+            text_base,
+            instrs,
+            data,
+        }
     }
 
     /// Base address of the text segment (also the entry point).
@@ -54,7 +58,7 @@ impl Program {
     /// The instruction at `pc`, or `None` if `pc` is outside the text
     /// segment or not 4-byte aligned.
     pub fn instr_at(&self, pc: u64) -> Option<&Instr> {
-        if pc < self.text_base || (pc - self.text_base) % 4 != 0 {
+        if pc < self.text_base || !(pc - self.text_base).is_multiple_of(4) {
             return None;
         }
         self.instrs.get(((pc - self.text_base) / 4) as usize)
@@ -250,7 +254,10 @@ mod tests {
     fn custom_text_base() {
         let mut b = ProgramBuilder::new();
         b.text_base(0x4000);
-        b.push(Instr::Li { d: Reg::new(1), imm: 1 });
+        b.push(Instr::Li {
+            d: Reg::new(1),
+            imm: 1,
+        });
         let p = b.build();
         assert_eq!(p.entry(), 0x4000);
         assert!(p.instr_at(0x4000).is_some());

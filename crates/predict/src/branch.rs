@@ -17,7 +17,10 @@ impl Bimodal {
     /// Creates a predictor with `2^bits` counters, initialised weakly
     /// not-taken.
     pub fn new(bits: u32) -> Bimodal {
-        Bimodal { table: vec![1; 1 << bits], mask: (1 << bits) - 1 }
+        Bimodal {
+            table: vec![1; 1 << bits],
+            mask: (1 << bits) - 1,
+        }
     }
 
     fn idx(&self, pc: u64) -> usize {
@@ -94,7 +97,10 @@ pub struct Btb {
 impl Btb {
     /// Creates a BTB with `2^bits` entries.
     pub fn new(bits: u32) -> Btb {
-        Btb { entries: vec![None; 1 << bits], mask: (1 << bits) - 1 }
+        Btb {
+            entries: vec![None; 1 << bits],
+            mask: (1 << bits) - 1,
+        }
     }
 
     fn idx(&self, pc: u64) -> usize {
@@ -126,7 +132,10 @@ pub struct ReturnStack {
 impl ReturnStack {
     /// Creates a stack holding up to `cap` return addresses.
     pub fn new(cap: usize) -> ReturnStack {
-        ReturnStack { stack: Vec::with_capacity(cap), cap }
+        ReturnStack {
+            stack: Vec::with_capacity(cap),
+            cap,
+        }
     }
 
     /// Pushes a return address (on `jal`); the oldest entry is dropped when
@@ -183,7 +192,10 @@ mod tests {
             p.update(0x1000, taken);
             taken = !taken;
         }
-        assert!(correct < 60, "bimodal should do badly on alternation, got {correct}");
+        assert!(
+            correct < 60,
+            "bimodal should do badly on alternation, got {correct}"
+        );
     }
 
     #[test]
@@ -203,7 +215,10 @@ mod tests {
             p.update(0x1000, taken);
             taken = !taken;
         }
-        assert!(correct > 95, "gshare should learn alternation, got {correct}");
+        assert!(
+            correct > 95,
+            "gshare should learn alternation, got {correct}"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl ResettingCounter {
     /// Creates a counter that asserts confidence at `threshold` consecutive
     /// hits. A threshold of 0 is always confident.
     pub fn new(threshold: u32) -> ResettingCounter {
-        ResettingCounter { value: 0, threshold }
+        ResettingCounter {
+            value: 0,
+            threshold,
+        }
     }
 
     /// Records a correct event (saturates at the threshold).

@@ -31,5 +31,7 @@ mod trace_pred;
 
 pub use branch::{Bimodal, Btb, Gshare, ReturnStack};
 pub use confidence::ResettingCounter;
-pub use trace::{materialize, MaterializedTrace, TraceBuilder, TraceId, MAX_TRACE_LEN};
+pub use trace::{
+    materialize, materialize_into, MaterializedTrace, TraceBuilder, TraceId, MAX_TRACE_LEN,
+};
 pub use trace_pred::{PathHistory, TracePredictor, TracePredictorConfig, TracePredictorStats};

@@ -146,6 +146,19 @@ pub struct MaterializedTrace {
 /// prediction".
 pub fn materialize(program: &Program, id: TraceId) -> Option<MaterializedTrace> {
     let mut pcs = Vec::with_capacity(id.len as usize);
+    let next_pc = materialize_into(program, id, &mut pcs)?;
+    Some(MaterializedTrace { id, pcs, next_pc })
+}
+
+/// Allocation-free [`materialize`]: fills the caller-provided `pcs` buffer
+/// (cleared first) and returns the trace's successor PC on success.
+///
+/// The A-stream front end fetches a trace every few cycles for the whole
+/// run; reusing one buffer there keeps trace fetch off the allocator.
+/// Returns `None` — with `pcs` contents unspecified — under the same
+/// conditions as [`materialize`].
+pub fn materialize_into(program: &Program, id: TraceId, pcs: &mut Vec<u64>) -> Option<Option<u64>> {
+    pcs.clear();
     let mut pc = id.start_pc;
     let mut branch_idx = 0usize;
     let mut next_pc = None;
@@ -188,7 +201,7 @@ pub fn materialize(program: &Program, id: TraceId) -> Option<MaterializedTrace> 
     if pcs.len() != id.len as usize || branch_idx != id.branch_count as usize {
         return None;
     }
-    Some(MaterializedTrace { id, pcs, next_pc })
+    Some(next_pc)
 }
 
 #[cfg(test)]
@@ -247,10 +260,7 @@ mod tests {
 
     #[test]
     fn jr_terminates_a_trace() {
-        let (traces, _) = traces_of(
-            "jal r31, f\nli r2, 2\nhalt\nf:\nli r1, 1\njr r31",
-            100,
-        );
+        let (traces, _) = traces_of("jal r31, f\nli r2, 2\nhalt\nf:\nli r1, 1\njr r31", 100);
         // jal, li, jr | li, halt
         assert_eq!(traces.len(), 2);
         assert_eq!(traces[0].len, 3);
@@ -296,20 +306,45 @@ mod tests {
     fn materialize_rejects_inconsistent_ids() {
         let p = assemble("nop\nhalt").unwrap();
         // Claims 5 instructions but text has 2 then halt.
-        let bogus = TraceId { start_pc: 0x1000, outcomes: 0, branch_count: 0, len: 5 };
+        let bogus = TraceId {
+            start_pc: 0x1000,
+            outcomes: 0,
+            branch_count: 0,
+            len: 5,
+        };
         assert_eq!(materialize(&p, bogus), None);
         // Claims a branch where there is none.
-        let bogus2 = TraceId { start_pc: 0x1000, outcomes: 1, branch_count: 1, len: 2 };
+        let bogus2 = TraceId {
+            start_pc: 0x1000,
+            outcomes: 1,
+            branch_count: 1,
+            len: 2,
+        };
         assert_eq!(materialize(&p, bogus2), None);
         // Walks off the text segment.
-        let bogus3 = TraceId { start_pc: 0x9000, outcomes: 0, branch_count: 0, len: 1 };
+        let bogus3 = TraceId {
+            start_pc: 0x9000,
+            outcomes: 0,
+            branch_count: 0,
+            len: 1,
+        };
         assert_eq!(materialize(&p, bogus3), None);
     }
 
     #[test]
     fn hash_is_stable_and_distinguishes() {
-        let a = TraceId { start_pc: 0x1000, outcomes: 0b101, branch_count: 3, len: 10 };
-        let b = TraceId { start_pc: 0x1000, outcomes: 0b111, branch_count: 3, len: 10 };
+        let a = TraceId {
+            start_pc: 0x1000,
+            outcomes: 0b101,
+            branch_count: 3,
+            len: 10,
+        };
+        let b = TraceId {
+            start_pc: 0x1000,
+            outcomes: 0b111,
+            branch_count: 3,
+            len: 10,
+        };
         assert_eq!(a.hash64(), a.hash64());
         assert_ne!(a.hash64(), b.hash64());
     }

@@ -15,7 +15,11 @@ pub struct TracePredictorConfig {
 
 impl Default for TracePredictorConfig {
     fn default() -> Self {
-        TracePredictorConfig { correlated_bits: 16, simple_bits: 16, path_len: 8 }
+        TracePredictorConfig {
+            correlated_bits: 16,
+            simple_bits: 16,
+            path_len: 8,
+        }
     }
 }
 
@@ -36,7 +40,10 @@ pub struct PathHistory {
 impl PathHistory {
     /// An empty history holding up to `cap` trace ids.
     pub fn new(cap: usize) -> PathHistory {
-        PathHistory { ids: VecDeque::with_capacity(cap + 1), cap }
+        PathHistory {
+            ids: VecDeque::with_capacity(cap + 1),
+            cap,
+        }
     }
 
     /// Appends a trace to the history (oldest entry falls off).
@@ -246,12 +253,22 @@ fn update_entry(slot: &mut Option<Entry>, tag: u16, actual: TraceId) {
         Some(e) => {
             // Tag conflict: 2-bit counter arbitrates replacement.
             if e.ctr == 0 {
-                *e = Entry { tag, pred: actual, ctr: 1 };
+                *e = Entry {
+                    tag,
+                    pred: actual,
+                    ctr: 1,
+                };
             } else {
                 e.ctr -= 1;
             }
         }
-        None => *slot = Some(Entry { tag, pred: actual, ctr: 1 }),
+        None => {
+            *slot = Some(Entry {
+                tag,
+                pred: actual,
+                ctr: 1,
+            })
+        }
     }
 }
 
@@ -260,7 +277,12 @@ mod tests {
     use super::*;
 
     fn tid(pc: u64, outcomes: u32, branches: u8, len: u8) -> TraceId {
-        TraceId { start_pc: pc, outcomes, branch_count: branches, len }
+        TraceId {
+            start_pc: pc,
+            outcomes,
+            branch_count: branches,
+            len,
+        }
     }
 
     /// Drives the predictor through `seq` repeatedly with a single history
@@ -289,7 +311,9 @@ mod tests {
     #[test]
     fn learns_a_repeating_trace_sequence() {
         let mut pred = TracePredictor::default();
-        let seq: Vec<TraceId> = (0..4).map(|i| tid(0x1000 + i * 0x80, i as u32, 3, 32)).collect();
+        let seq: Vec<TraceId> = (0..4)
+            .map(|i| tid(0x1000 + i * 0x80, i as u32, 3, 32))
+            .collect();
         let acc = learn_sequence(&mut pred, &seq, 10);
         assert_eq!(acc, 1.0, "a short repeating sequence must be fully learned");
     }
@@ -367,7 +391,11 @@ mod tests {
             pred.update(&ctx, b);
         }
         pred.update(&ctx, z); // one disagreement
-        assert_eq!(pred.predict(&ctx), Some(b), "2-bit counter resists single flips");
+        assert_eq!(
+            pred.predict(&ctx),
+            Some(b),
+            "2-bit counter resists single flips"
+        );
     }
 
     #[test]

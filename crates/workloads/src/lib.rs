@@ -30,6 +30,8 @@
 
 mod programs;
 mod randprog;
+mod rng;
 
 pub use programs::{benchmark, suite, Workload, BENCHMARK_NAMES};
 pub use randprog::{random_program, RandProgConfig};
+pub use rng::XorShift64Star;

@@ -25,8 +25,9 @@ pub struct Workload {
 }
 
 /// The eight benchmark names, in the paper's order.
-pub const BENCHMARK_NAMES: [&str; 8] =
-    ["compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex"];
+pub const BENCHMARK_NAMES: [&str; 8] = [
+    "compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex",
+];
 
 /// Builds one benchmark at `scale` (1.0 = default size; dynamic length
 /// scales roughly linearly). Returns `None` for an unknown name.

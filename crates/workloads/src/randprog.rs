@@ -8,10 +8,9 @@
 //! biased branches — so property tests exercise removal, not just
 //! arithmetic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use slipstream_isa::{Instr, Program, ProgramBuilder, Reg};
+
+use crate::rng::XorShift64Star;
 
 /// Knobs for [`random_program`].
 #[derive(Debug, Clone, Copy)]
@@ -42,66 +41,99 @@ impl Default for RandProgConfig {
 
 /// Generates a deterministic random program from `seed`.
 pub fn random_program(seed: u64, cfg: RandProgConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64Star::new(seed);
     let mut b = ProgramBuilder::new();
     // r1..r23: general data registers. r24: memory base. r25: loop counter.
     // r26: scratch address.
-    let data_reg = |rng: &mut StdRng| Reg::new(rng.gen_range(1..24));
+    let data_reg = |rng: &mut XorShift64Star| Reg::new(rng.range_u64(1, 24) as u8);
     let base = Reg::new(24);
     let counter = Reg::new(25);
     let addr = Reg::new(26);
 
-    b.push(Instr::Li { d: base, imm: cfg.mem_base as i64 });
+    b.push(Instr::Li {
+        d: base,
+        imm: cfg.mem_base as i64,
+    });
     for i in 1..24u8 {
-        b.push(Instr::Li { d: Reg::new(i), imm: (i as i64) * 7 - 40 });
+        b.push(Instr::Li {
+            d: Reg::new(i),
+            imm: (i as i64) * 7 - 40,
+        });
     }
 
     for _ in 0..cfg.chunks {
-        match rng.gen_range(0..10) {
+        match rng.below(10) {
             // 0-5: straight-line arithmetic/memory chunk.
             0..=5 => {
-                let len = rng.gen_range(1..=cfg.max_chunk_len);
+                let len = rng.range_u64(1, cfg.max_chunk_len as u64 + 1) as usize;
                 for _ in 0..len {
                     emit_random_op(&mut b, &mut rng, data_reg, base, addr, &cfg);
                 }
             }
             // 6-7: a bounded countdown loop around a small body.
             6 | 7 => {
-                let trip = rng.gen_range(1..=cfg.max_trip) as i64;
-                b.push(Instr::Li { d: counter, imm: trip });
+                let trip = rng.range_u64(1, cfg.max_trip + 1) as i64;
+                b.push(Instr::Li {
+                    d: counter,
+                    imm: trip,
+                });
                 let top = b.here();
-                let body = rng.gen_range(1..=4usize);
+                let body = rng.range_u64(1, 5);
                 for _ in 0..body {
                     emit_random_op(&mut b, &mut rng, data_reg, base, addr, &cfg);
                 }
-                b.push(Instr::Addi { d: counter, a: counter, imm: -1 });
-                b.push(Instr::Bne { a: counter, b: Reg::ZERO, target: top });
+                b.push(Instr::Addi {
+                    d: counter,
+                    a: counter,
+                    imm: -1,
+                });
+                b.push(Instr::Bne {
+                    a: counter,
+                    b: Reg::ZERO,
+                    target: top,
+                });
             }
             // 8: a forward conditional skip (biased by construction).
             8 => {
                 let r = data_reg(&mut rng);
                 let patch_pc = b.push(Instr::Nop); // placeholder branch
-                let body = rng.gen_range(1..=3usize);
+                let body = rng.range_u64(1, 4);
                 for _ in 0..body {
                     emit_random_op(&mut b, &mut rng, data_reg, base, addr, &cfg);
                 }
                 let target = b.here();
-                let instr = if rng.gen_bool(0.5) {
-                    Instr::Beq { a: r, b: Reg::ZERO, target }
+                let instr = if rng.chance(1, 2) {
+                    Instr::Beq {
+                        a: r,
+                        b: Reg::ZERO,
+                        target,
+                    }
                 } else {
-                    Instr::Blt { a: r, b: Reg::ZERO, target }
+                    Instr::Blt {
+                        a: r,
+                        b: Reg::ZERO,
+                        target,
+                    }
                 };
                 b.patch(patch_pc, instr);
             }
             // 9: a silent-store or dead-write idiom (removal fodder).
             _ => {
                 let v = Reg::new(27);
-                let imm = rng.gen_range(0..4i64);
-                let slot = rng.gen_range(0..cfg.mem_slots) as i64 * 8;
+                let imm = rng.range_i64(0, 4);
+                let slot = rng.below(cfg.mem_slots) as i64 * 8;
                 b.push(Instr::Li { d: v, imm });
-                b.push(Instr::St { s: v, base, off: slot });
+                b.push(Instr::St {
+                    s: v,
+                    base,
+                    off: slot,
+                });
                 b.push(Instr::Li { d: v, imm });
-                b.push(Instr::St { s: v, base, off: slot }); // silent
+                b.push(Instr::St {
+                    s: v,
+                    base,
+                    off: slot,
+                }); // silent
                 let dead = data_reg(&mut rng);
                 b.push(Instr::Li { d: dead, imm: 99 }); // likely dead
                 b.push(Instr::Li { d: dead, imm: 100 });
@@ -114,8 +146,8 @@ pub fn random_program(seed: u64, cfg: RandProgConfig) -> Program {
 
 fn emit_random_op(
     b: &mut ProgramBuilder,
-    rng: &mut StdRng,
-    data_reg: impl Fn(&mut StdRng) -> Reg,
+    rng: &mut XorShift64Star,
+    data_reg: impl Fn(&mut XorShift64Star) -> Reg,
     base: Reg,
     addr: Reg,
     cfg: &RandProgConfig,
@@ -123,31 +155,74 @@ fn emit_random_op(
     let d = data_reg(rng);
     let a = data_reg(rng);
     let c = data_reg(rng);
-    match rng.gen_range(0..12) {
+    match rng.below(12) {
         0 => b.push(Instr::Add { d, a, b: c }),
         1 => b.push(Instr::Sub { d, a, b: c }),
         2 => b.push(Instr::Xor { d, a, b: c }),
         3 => b.push(Instr::And { d, a, b: c }),
         4 => b.push(Instr::Mul { d, a, b: c }),
         5 => b.push(Instr::Slt { d, a, b: c }),
-        6 => b.push(Instr::Addi { d, a, imm: rng.gen_range(-64..64) }),
-        7 => b.push(Instr::Slli { d, a, imm: rng.gen_range(0..8) }),
-        8 => b.push(Instr::Li { d, imm: rng.gen_range(-1000..1000) }),
+        6 => b.push(Instr::Addi {
+            d,
+            a,
+            imm: rng.range_i64(-64, 64),
+        }),
+        7 => b.push(Instr::Slli {
+            d,
+            a,
+            imm: rng.range_i64(0, 8),
+        }),
+        8 => b.push(Instr::Li {
+            d,
+            imm: rng.range_i64(-1000, 1000),
+        }),
         9 | 10 => {
             // Sandboxed load: addr = base + (a & mask)*8
             let mask = (cfg.mem_slots - 1) as i64;
-            b.push(Instr::Andi { d: addr, a, imm: mask });
-            b.push(Instr::Slli { d: addr, a: addr, imm: 3 });
-            b.push(Instr::Add { d: addr, a: addr, b: base });
-            b.push(Instr::Ld { d, base: addr, off: 0 })
+            b.push(Instr::Andi {
+                d: addr,
+                a,
+                imm: mask,
+            });
+            b.push(Instr::Slli {
+                d: addr,
+                a: addr,
+                imm: 3,
+            });
+            b.push(Instr::Add {
+                d: addr,
+                a: addr,
+                b: base,
+            });
+            b.push(Instr::Ld {
+                d,
+                base: addr,
+                off: 0,
+            })
         }
         _ => {
             // Sandboxed store.
             let mask = (cfg.mem_slots - 1) as i64;
-            b.push(Instr::Andi { d: addr, a, imm: mask });
-            b.push(Instr::Slli { d: addr, a: addr, imm: 3 });
-            b.push(Instr::Add { d: addr, a: addr, b: base });
-            b.push(Instr::St { s: c, base: addr, off: 0 })
+            b.push(Instr::Andi {
+                d: addr,
+                a,
+                imm: mask,
+            });
+            b.push(Instr::Slli {
+                d: addr,
+                a: addr,
+                imm: 3,
+            });
+            b.push(Instr::Add {
+                d: addr,
+                a: addr,
+                b: base,
+            });
+            b.push(Instr::St {
+                s: c,
+                base: addr,
+                off: 0,
+            })
         }
     };
 }

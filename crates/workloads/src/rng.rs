@@ -1,0 +1,135 @@
+//! A small vendored PRNG so the workspace needs no external crates.
+//!
+//! Workload generation, property tests, and fault campaigns all need a
+//! seedable, deterministic source of pseudo-randomness, but nothing about
+//! them needs cryptographic quality — so instead of depending on the
+//! `rand` crate (which would break fully offline builds) we vendor
+//! xorshift64* (Vigna, "An experimental exploration of Marsaglia's
+//! xorshift generators, scrambled"): a 3-shift/1-multiply generator with
+//! period 2^64 − 1 that passes BigCrush on its high bits.
+
+/// Seedable xorshift64* pseudo-random generator.
+///
+/// Deterministic: the same seed always yields the same sequence, on every
+/// platform (the generator is pure integer arithmetic).
+///
+/// ```
+/// use slipstream_workloads::XorShift64Star;
+/// let mut a = XorShift64Star::new(42);
+/// let mut b = XorShift64Star::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator from `seed`. A zero seed is remapped (the
+    /// all-zero state is the one fixed point of the xorshift step); the
+    /// seed is additionally scrambled with splitmix64 so that small
+    /// consecutive seeds produce uncorrelated streams.
+    pub fn new(seed: u64) -> XorShift64Star {
+        // splitmix64 finalizer — recommended for seeding xorshift-family
+        // generators from low-entropy seeds.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        XorShift64Star {
+            state: if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    ///
+    /// Uses the widening-multiply range reduction; the modulo bias is at
+    /// most `n / 2^64`, far below anything these workloads can observe.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the half-open range `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform value in the half-open range `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "empty range");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShift64Star::new(7);
+        let mut b = XorShift64Star::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = XorShift64Star::new(1);
+        let mut b = XorShift64Star::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = XorShift64Star::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws should cover [0,10)");
+    }
+
+    #[test]
+    fn range_i64_handles_negative_bounds() {
+        let mut r = XorShift64Star::new(4);
+        for _ in 0..1000 {
+            let v = r.range_i64(-64, 64);
+            assert!((-64..64).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = XorShift64Star::new(5);
+        let hits = (0..10_000).filter(|_| r.chance(1, 2)).count();
+        assert!((4_500..5_500).contains(&hits), "got {hits} of 10000");
+    }
+}

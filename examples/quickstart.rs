@@ -94,7 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         addi r1, r1, -1
         bne r1, r0, step
         halt
-        "#
+        "#,
     )?;
 
     let cfg = SlipstreamConfig::cmp_2x64x4();
@@ -105,8 +105,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // SS(128x8): the doubled core of the paper's Figure 7.
     let big = run_superscalar(CoreConfig::ss_128x8(), cfg.trace_pred, &program, 50_000_000);
-    println!("SS(128x8)     : {:>6.2} IPC  ({:+.1}% vs SS64)", big.ipc(),
-        100.0 * (big.ipc() / base.ipc() - 1.0));
+    println!(
+        "SS(128x8)     : {:>6.2} IPC  ({:+.1}% vs SS64)",
+        big.ipc(),
+        100.0 * (big.ipc() / base.ipc() - 1.0)
+    );
 
     // CMP(2x64x4): the slipstream processor — two SS(64x4) cores running
     // a reduced A-stream and a checking R-stream.

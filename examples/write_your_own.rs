@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Time it on the cycle-level models.
     let cfg = SlipstreamConfig::cmp_2x64x4();
     let base = run_superscalar(CoreConfig::ss_64x4(), cfg.trace_pred, &program, 10_000_000);
-    println!("SS(64x4):   {} cycles ({:.2} IPC)", base.core.cycles, base.ipc());
+    println!(
+        "SS(64x4):   {} cycles ({:.2} IPC)",
+        base.core.cycles,
+        base.ipc()
+    );
 
     let mut slip = SlipstreamProcessor::new(cfg, &program);
     slip.run(10_000_000);

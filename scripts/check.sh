@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, build, and the full test suite.
+# Everything here runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "OK"

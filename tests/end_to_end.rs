@@ -50,7 +50,11 @@ fn slipstream_matches_oracle_on_every_benchmark() {
         let mut proc = SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &w.program);
         proc.set_strict(true); // post-recovery context equality asserted
         proc.enable_online_check(); // paper §4: lockstep functional checker
-        assert!(proc.run(MAX_CYCLES), "{}: slipstream did not complete", w.name);
+        assert!(
+            proc.run(MAX_CYCLES),
+            "{}: slipstream did not complete",
+            w.name
+        );
         assert_eq!(
             proc.r_core().arch_regs(),
             gold.regs(),
@@ -119,10 +123,18 @@ fn removal_shape_matches_the_paper() {
         assert!(proc.run(MAX_CYCLES));
         removal.insert(w.name, proc.stats().removal_fraction);
     }
-    assert!(removal["m88ksim"] > 0.35, "m88ksim: {:?}", removal["m88ksim"]);
+    assert!(
+        removal["m88ksim"] > 0.35,
+        "m88ksim: {:?}",
+        removal["m88ksim"]
+    );
     assert!(removal["perl"] > 0.08, "perl: {:?}", removal["perl"]);
     assert!(removal["vortex"] > 0.08, "vortex: {:?}", removal["vortex"]);
-    assert!(removal["compress"] < 0.05, "compress: {:?}", removal["compress"]);
+    assert!(
+        removal["compress"] < 0.05,
+        "compress: {:?}",
+        removal["compress"]
+    );
     assert!(removal["go"] < 0.05, "go: {:?}", removal["go"]);
     assert!(
         removal["m88ksim"] > removal["vortex"] && removal["m88ksim"] > removal["perl"],
