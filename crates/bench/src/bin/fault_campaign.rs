@@ -1,0 +1,197 @@
+//! Figure 5 at campaign scale: a parallel, deterministic fault-injection
+//! sweep over all eight benchmarks × both streams.
+//!
+//! Enumerates N distinct (dynamic-instruction, bit) injection sites per
+//! benchmark × target from the seeded xorshift64* PRNG, fans the runs out
+//! across a `std::thread` worker pool (per-worker `SlipstreamProcessor`
+//! instances, copy-on-write clones of the per-benchmark golden state), and
+//! writes the outcome distribution plus the campaign's own wall-clock
+//! throughput to `BENCH_fault_campaign.json`.
+//!
+//! ```text
+//! fault_campaign [--sites N] [--workers W] [--scale S] [--seed X]
+//!                [--out PATH] [--smoke] [--scaling-probe]
+//! ```
+//!
+//! `--smoke` runs the reduced-scale CI gate (≤ 10 s): same code path, few
+//! sites, small workloads, sanity assertions that fail the build on
+//! fault-path regressions, and no JSON artifact unless `--out` is given.
+//! `--scaling-probe` reruns the same site set at 1 and `--workers` threads
+//! and reports the wall-clock speedup.
+
+use slipstream_bench::{
+    print_campaign_table, run_campaign, target_label, CampaignConfig, CampaignResult, TARGETS,
+};
+use slipstream_core::FaultTarget;
+use slipstream_workloads::BENCHMARK_NAMES;
+
+fn main() {
+    let mut cfg = CampaignConfig::full();
+    let mut out: Option<String> = Some("BENCH_fault_campaign.json".to_string());
+    let mut smoke = false;
+    let mut scaling_probe = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                let workers = cfg.workers;
+                cfg = CampaignConfig::smoke();
+                cfg.workers = workers.min(4);
+                out = None;
+                i += 1;
+            }
+            "--sites" => {
+                cfg.sites_per_target = value(i).parse().expect("--sites: integer");
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = value(i)
+                    .parse::<usize>()
+                    .expect("--workers: integer")
+                    .max(1);
+                i += 2;
+            }
+            "--scale" => {
+                cfg.scale = value(i).parse().expect("--scale: number");
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = value(i).parse().expect("--seed: integer");
+                i += 2;
+            }
+            "--out" => {
+                out = Some(value(i).clone());
+                i += 2;
+            }
+            "--scaling-probe" => {
+                scaling_probe = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    eprintln!(
+        "fault campaign: {} benchmarks x {} targets x {} sites (scale {}, seed {:#x}, {} workers)",
+        BENCHMARK_NAMES.len(),
+        TARGETS.len(),
+        cfg.sites_per_target,
+        cfg.scale,
+        cfg.seed,
+        cfg.workers,
+    );
+    let result = run_campaign(&cfg, &BENCHMARK_NAMES, &TARGETS);
+    print_campaign_table(&result);
+
+    if smoke {
+        smoke_assertions(&result);
+        println!("smoke campaign OK");
+    }
+
+    if scaling_probe {
+        probe_scaling(&cfg);
+    }
+
+    if let Some(path) = out {
+        std::fs::write(&path, full_json(&result)).expect("write campaign JSON");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Sanity invariants cheap enough for CI; a violation is a fault-path
+/// regression, so panic (non-zero exit) fails the build.
+fn smoke_assertions(result: &CampaignResult) {
+    let totals = result.totals();
+    assert_eq!(totals.hangs, 0, "no smoke run may exceed its cycle budget");
+    assert!(
+        totals.detected_recovered > 0,
+        "campaign must observe detection + recovery"
+    );
+    for s in &result.summaries {
+        assert_eq!(
+            s.sites,
+            s.not_activated + s.detected_recovered + s.masked + s.silent + s.hangs,
+            "{} {}: outcome counters must partition the site set",
+            s.bench,
+            target_label(s.target),
+        );
+        if s.target == FaultTarget::AStream {
+            assert_eq!(
+                s.silent, 0,
+                "{}: A-stream faults must never corrupt silently (every executed \
+                 A-stream value is checked by the R-stream)",
+                s.bench,
+            );
+        }
+    }
+    assert_eq!(
+        totals.latency.n, totals.detected_recovered,
+        "every detected+recovered run must report a detection latency"
+    );
+}
+
+/// Reruns the same site set single-threaded vs the configured pool and
+/// reports the speedup (the site enumeration is identical, so the rows
+/// are too — only wall-clock changes).
+fn probe_scaling(cfg: &CampaignConfig) {
+    let mut one = cfg.clone();
+    one.workers = 1;
+    let serial = run_campaign(&one, &BENCHMARK_NAMES, &TARGETS);
+    let pooled = run_campaign(cfg, &BENCHMARK_NAMES, &TARGETS);
+    assert_eq!(
+        serial.rows_json(),
+        pooled.rows_json(),
+        "campaign rows must be worker-count independent"
+    );
+    println!(
+        "scaling probe: 1 worker {:.2}s, {} workers {:.2}s — {:.2}x speedup",
+        serial.elapsed_seconds,
+        cfg.workers,
+        pooled.elapsed_seconds,
+        serial.elapsed_seconds / pooled.elapsed_seconds.max(1e-9),
+    );
+}
+
+/// The JSON document: campaign parameters, wall-clock throughput of the
+/// sweep itself, per-target rows, and whole-campaign totals.
+fn full_json(result: &CampaignResult) -> String {
+    let cfg = &result.config;
+    let totals = result.totals();
+    format!(
+        "{{\n  \"seed\": {}, \"scale\": {}, \"sites_per_target\": {}, \"workers\": {},\n  \
+         \"throughput\": {{\"elapsed_seconds\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.2}, \
+         \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}}},\n  \"rows\": {},\n  \
+         \"totals\": {{\"sites\": {}, \"not_activated\": {}, \"activated\": {}, \
+         \"detected_recovered\": {}, \"masked\": {}, \"silent_corruption\": {}, \"hangs\": {}, \
+         \"rate_detected_recovered\": {:.4}, \"rate_masked\": {:.4}, \"rate_silent\": {:.4}, \
+         \"detection_latency_mean_cycles\": {:.2}}}\n}}\n",
+        cfg.seed,
+        cfg.scale,
+        cfg.sites_per_target,
+        cfg.workers,
+        result.elapsed_seconds,
+        result.runs(),
+        result.runs_per_sec(),
+        result.sim_cycles(),
+        result.sim_cycles() as f64 / result.elapsed_seconds.max(1e-9),
+        result.rows_json(),
+        totals.sites,
+        totals.not_activated,
+        totals.activated(),
+        totals.detected_recovered,
+        totals.masked,
+        totals.silent,
+        totals.hangs,
+        totals.rate(totals.detected_recovered),
+        totals.rate(totals.masked),
+        totals.rate(totals.silent),
+        totals.latency.mean(),
+    )
+}

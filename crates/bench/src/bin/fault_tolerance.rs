@@ -1,11 +1,17 @@
-//! Section 3 / Figure 5: transient-fault injection campaigns.
+//! Section 3 / Figure 5: transient-fault spot checks (two benchmarks).
 //!
-//! Injects random single-bit faults into each stream of the slipstream
-//! processor and classifies every run against the functional oracle,
-//! demonstrating the paper's three scenarios: detection + transparent
-//! recovery for redundantly-executed instructions, architectural masking
-//! for dead values, and silent corruption for faults landing in regions
-//! the A-stream skipped (the coverage hole of partial redundancy).
+//! Injects deterministic single-bit faults into each stream of the
+//! slipstream processor and classifies every run against the functional
+//! oracle, demonstrating the paper's three scenarios: detection +
+//! transparent recovery for redundantly-executed instructions,
+//! architectural masking for dead values, and silent corruption for faults
+//! landing in regions the A-stream skipped (the coverage hole of partial
+//! redundancy). Rates are over *activated* faults — armed faults that
+//! never fired are dead injection sites and excluded, as in the paper.
+//!
+//! The full, parallel, all-benchmark sweep lives in the `fault_campaign`
+//! binary (writes `BENCH_fault_campaign.json`); this one is a quick
+//! two-benchmark demonstration.
 
 use slipstream_bench::{fault_campaign, print_campaign};
 use slipstream_core::FaultTarget;
@@ -25,6 +31,7 @@ fn main() {
     println!("Reading: A-stream faults are always caught (every executed A-stream");
     println!("value is checked by the R-stream). R-stream faults escape only when");
     println!("they land on instructions the A-stream skipped — scenario 2 — which");
-    println!("is why m88ksim (heavy removal) shows silent corruption where");
-    println!("compress (almost no removal) does not.");
+    println!("is why m88ksim (heavy removal) can show silent corruption where");
+    println!("compress (almost no removal) does not. Run the `fault_campaign`");
+    println!("binary for the full eight-benchmark parallel sweep.");
 }

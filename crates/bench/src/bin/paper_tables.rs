@@ -23,6 +23,7 @@ fn main() {
 
     eprintln!("running fault-injection campaigns ...");
     println!("Section 3 / Figure 5: transient-fault scenarios (m88ksim analogue).");
+    println!("(rates over activated faults; full sweep: the `fault_campaign` binary)");
     let a = fault_campaign(
         "m88ksim",
         (scale * 0.25).max(0.02),

@@ -1,0 +1,606 @@
+//! Parallel, deterministic fault-injection campaigns (paper §3, Figure 5).
+//!
+//! RepTFD- and MEEK-style systematic sweeps: a deterministic
+//! site-enumeration pass picks N distinct (dynamic-instruction, bit)
+//! injection sites per benchmark × stream from the vendored xorshift64*
+//! PRNG, a `std::thread` worker pool fans the runs out across cores (the
+//! workspace is dependency-free — no rayon), and a structured stats layer
+//! aggregates per-outcome counters, a detection-latency histogram in
+//! cycles, and fired/not-fired accounting.
+//!
+//! Determinism: site enumeration depends only on `(seed, bench, target)`,
+//! every run is independently seeded by its site, and results are
+//! reassembled in site order after the pool drains — the same seed
+//! produces byte-identical campaign rows regardless of worker count.
+//!
+//! Sharing: the golden state and fault-free baseline are computed once per
+//! benchmark; each worker receives a copy-on-write clone (`Memory` pages
+//! are `Arc`s, and the one-entry last-page cache makes `Memory`
+//! intentionally `!Sync`, so workers clone rather than share — an O(pages)
+//! pointer copy per worker, no byte copies).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use slipstream_core::{
+    golden_state, run_fault_experiment, FaultOutcome, FaultTarget, SlipstreamConfig,
+    SlipstreamProcessor,
+};
+use slipstream_cpu::FaultSpec;
+use slipstream_isa::ArchState;
+use slipstream_workloads::{benchmark, Workload, XorShift64Star};
+
+use crate::MAX_CYCLES;
+
+/// Both fault targets, in reporting order.
+pub const TARGETS: [FaultTarget; 2] = [FaultTarget::AStream, FaultTarget::RStream];
+
+/// Human-readable label for a fault target.
+pub fn target_label(t: FaultTarget) -> &'static str {
+    match t {
+        FaultTarget::AStream => "A-stream",
+        FaultTarget::RStream => "R-stream",
+    }
+}
+
+/// Parameters of one campaign sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Workload scale (1.0 = default benchmark size).
+    pub scale: f64,
+    /// Distinct injection sites per benchmark × target.
+    pub sites_per_target: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Master seed for site enumeration.
+    pub seed: u64,
+    /// Cycle budget per run (runs past it classify as `Hang`).
+    pub max_cycles: u64,
+}
+
+impl CampaignConfig {
+    /// The full Figure 5 sweep: ≥ 200 sites per benchmark (128 per
+    /// stream), at a scale where a full-suite campaign finishes in
+    /// minutes on one core.
+    pub fn full() -> CampaignConfig {
+        CampaignConfig {
+            scale: 0.2,
+            sites_per_target: 128,
+            workers: available_workers(),
+            seed: 0xfa17,
+            max_cycles: MAX_CYCLES,
+        }
+    }
+
+    /// Reduced-scale smoke sweep for CI (≤ 10 s): same code path, few
+    /// sites, small workloads.
+    pub fn smoke() -> CampaignConfig {
+        CampaignConfig {
+            scale: 0.05,
+            sites_per_target: 6,
+            workers: available_workers().min(4),
+            seed: 0xfa17,
+            max_cycles: MAX_CYCLES,
+        }
+    }
+}
+
+/// Worker threads available on this machine.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One enumerated injection site: flip `bit` of the value produced by
+/// dynamic (dispatch-order) instruction `seq` of `target`'s core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionSite {
+    /// Benchmark the site belongs to.
+    pub bench: &'static str,
+    /// Which stream's core takes the flip.
+    pub target: FaultTarget,
+    /// Dynamic instruction (dispatch sequence) number.
+    pub seq: u64,
+    /// Bit position of the flip.
+    pub bit: u8,
+}
+
+/// Outcome of running one injection site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteResult {
+    /// The site that was run.
+    pub site: InjectionSite,
+    /// Classified outcome.
+    pub outcome: FaultOutcome,
+    /// Whether the armed fault dispatched.
+    pub fired: bool,
+    /// Fault-attributed detection events (beyond the fault-free baseline).
+    pub detections: u64,
+    /// Fire-to-detection latency in cycles, when detected.
+    pub detection_latency: Option<u64>,
+    /// Cycles the run simulated.
+    pub cycles: u64,
+}
+
+/// Upper bucket edges (inclusive) of the detection-latency histogram; the
+/// last bucket is unbounded.
+pub const LATENCY_EDGES: [u64; 8] = [32, 64, 128, 256, 512, 1024, 4096, u64::MAX];
+
+/// Histogram of fire-to-detection latencies, in cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Count per bucket of [`LATENCY_EDGES`].
+    pub counts: [u64; 8],
+    /// Sum of recorded latencies.
+    pub sum: u64,
+    /// Number of recorded latencies.
+    pub n: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency.
+    pub fn record(&mut self, latency: u64) {
+        let b = LATENCY_EDGES
+            .iter()
+            .position(|&e| latency <= e)
+            .expect("last edge is u64::MAX");
+        self.counts[b] += 1;
+        self.sum += latency;
+        self.n += 1;
+    }
+
+    /// Mean recorded latency (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+}
+
+/// Aggregate counters for one benchmark × target sweep.
+///
+/// Rates are reported over *activated* sites only — the paper's Figure 5
+/// distribution counts faults that actually struck a dynamic instruction;
+/// dead injection sites (`NotActivated`) are accounted separately and
+/// excluded from every denominator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetSummary {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Injected stream.
+    pub target: FaultTarget,
+    /// Sites enumerated (= runs performed).
+    pub sites: u64,
+    /// Sites whose fault never dispatched.
+    pub not_activated: u64,
+    /// Activated faults detected and transparently recovered.
+    pub detected_recovered: u64,
+    /// Activated faults architecturally masked.
+    pub masked: u64,
+    /// Activated faults that corrupted architectural output.
+    pub silent: u64,
+    /// Runs that exceeded the cycle budget.
+    pub hangs: u64,
+    /// Sites whose fault dispatched (fired accounting).
+    pub fired: u64,
+    /// Total cycles simulated across the sweep's runs.
+    pub sim_cycles: u64,
+    /// Fire-to-detection latency histogram over detected faults.
+    pub latency: LatencyHistogram,
+}
+
+impl TargetSummary {
+    fn new(bench: &'static str, target: FaultTarget) -> TargetSummary {
+        TargetSummary {
+            bench,
+            target,
+            sites: 0,
+            not_activated: 0,
+            detected_recovered: 0,
+            masked: 0,
+            silent: 0,
+            hangs: 0,
+            fired: 0,
+            sim_cycles: 0,
+            latency: LatencyHistogram::default(),
+        }
+    }
+
+    fn absorb(&mut self, r: &SiteResult) {
+        self.sites += 1;
+        self.sim_cycles += r.cycles;
+        if r.fired {
+            self.fired += 1;
+        }
+        match r.outcome {
+            FaultOutcome::NotActivated => self.not_activated += 1,
+            FaultOutcome::DetectedRecovered => self.detected_recovered += 1,
+            FaultOutcome::Masked => self.masked += 1,
+            FaultOutcome::SilentCorruption => self.silent += 1,
+            FaultOutcome::Hang => self.hangs += 1,
+        }
+        // The histogram answers "how fast are recovered faults caught?":
+        // record only detected+recovered runs (a corrupting run can also
+        // carry attributed detections — e.g. the fault is caught once but
+        // a second corruption escapes — and would skew the figure).
+        if r.outcome == FaultOutcome::DetectedRecovered {
+            if let Some(lat) = r.detection_latency {
+                self.latency.record(lat);
+            }
+        }
+    }
+
+    /// Sites whose fault actually struck an instruction — the Figure 5
+    /// rate denominator.
+    pub fn activated(&self) -> u64 {
+        self.sites - self.not_activated
+    }
+
+    /// `n` as a fraction of activated sites (0.0 when none activated).
+    pub fn rate(&self, n: u64) -> f64 {
+        if self.activated() == 0 {
+            0.0
+        } else {
+            n as f64 / self.activated() as f64
+        }
+    }
+}
+
+/// Result of a campaign sweep: ordered per-target summaries, the raw
+/// per-site results, and the wall-clock throughput of the campaign itself.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Configuration the sweep ran with.
+    pub config: CampaignConfig,
+    /// One summary per benchmark × target, in enumeration order.
+    pub summaries: Vec<TargetSummary>,
+    /// Per-site results, in site-enumeration order (worker-count
+    /// independent).
+    pub site_results: Vec<SiteResult>,
+    /// Wall-clock seconds for the whole sweep (including golden-state and
+    /// baseline preparation).
+    pub elapsed_seconds: f64,
+}
+
+impl CampaignResult {
+    /// Total injection runs.
+    pub fn runs(&self) -> u64 {
+        self.site_results.len() as u64
+    }
+
+    /// Total cycles simulated across all runs.
+    pub fn sim_cycles(&self) -> u64 {
+        self.summaries.iter().map(|s| s.sim_cycles).sum()
+    }
+
+    /// Injection runs completed per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        self.runs() as f64 / self.elapsed_seconds.max(1e-9)
+    }
+
+    /// Whole-campaign totals (a summary with `bench = "all"`).
+    pub fn totals(&self) -> TargetSummary {
+        let mut t = TargetSummary::new("all", FaultTarget::AStream);
+        for s in &self.summaries {
+            t.sites += s.sites;
+            t.not_activated += s.not_activated;
+            t.detected_recovered += s.detected_recovered;
+            t.masked += s.masked;
+            t.silent += s.silent;
+            t.hangs += s.hangs;
+            t.fired += s.fired;
+            t.sim_cycles += s.sim_cycles;
+            t.latency.sum += s.latency.sum;
+            t.latency.n += s.latency.n;
+            for (a, b) in t.latency.counts.iter_mut().zip(s.latency.counts) {
+                *a += b;
+            }
+        }
+        t
+    }
+
+    /// The campaign's rows as a deterministic JSON array (no timing
+    /// fields): identical for identical `(seed, scale, sites, benches)`
+    /// regardless of worker count.
+    pub fn rows_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, s) in self.summaries.iter().enumerate() {
+            out.push_str(&summary_json("    ", s));
+            out.push_str(if i + 1 < self.summaries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]");
+        out
+    }
+}
+
+fn histogram_json(h: &LatencyHistogram) -> String {
+    let buckets: Vec<String> = LATENCY_EDGES
+        .iter()
+        .zip(h.counts)
+        .map(|(&e, c)| {
+            if e == u64::MAX {
+                format!("{{\"le\": null, \"count\": {c}}}")
+            } else {
+                format!("{{\"le\": {e}, \"count\": {c}}}")
+            }
+        })
+        .collect();
+    format!(
+        "{{\"mean_cycles\": {:.2}, \"detected\": {}, \"buckets\": [{}]}}",
+        h.mean(),
+        h.n,
+        buckets.join(", ")
+    )
+}
+
+fn summary_json(indent: &str, s: &TargetSummary) -> String {
+    format!(
+        "{indent}{{\"bench\": \"{}\", \"target\": \"{}\", \"sites\": {}, \
+         \"not_activated\": {}, \"activated\": {}, \"fired\": {}, \
+         \"detected_recovered\": {}, \"masked\": {}, \"silent_corruption\": {}, \
+         \"hangs\": {}, \"rate_detected_recovered\": {:.4}, \"rate_masked\": {:.4}, \
+         \"rate_silent\": {:.4}, \"sim_cycles\": {}, \"detection_latency\": {}}}",
+        s.bench,
+        target_label(s.target),
+        s.sites,
+        s.not_activated,
+        s.activated(),
+        s.fired,
+        s.detected_recovered,
+        s.masked,
+        s.silent,
+        s.hangs,
+        s.rate(s.detected_recovered),
+        s.rate(s.masked),
+        s.rate(s.silent),
+        s.sim_cycles,
+        histogram_json(&s.latency),
+    )
+}
+
+/// Per-benchmark shared state, computed once and CoW-cloned per worker.
+#[derive(Clone)]
+struct BenchContext {
+    workload: Workload,
+    cfg: SlipstreamConfig,
+    golden: ArchState,
+    baseline_detections: u64,
+    dynamic: u64,
+}
+
+fn prepare(bench: &str, scale: f64, max_cycles: u64) -> BenchContext {
+    let workload = benchmark(bench, scale).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let golden = golden_state(&workload.program, 4 * max_cycles);
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let mut clean = SlipstreamProcessor::new(cfg.clone(), &workload.program);
+    assert!(
+        clean.run(max_cycles),
+        "{bench}: fault-free baseline did not complete"
+    );
+    let stats = clean.stats();
+    BenchContext {
+        workload,
+        cfg,
+        golden,
+        baseline_detections: stats.ir_mispredictions,
+        dynamic: stats.r_retired,
+    }
+}
+
+/// Splitmix-style mix of the master seed with a benchmark name and target,
+/// so each (bench, target) stream draws decorrelated sites.
+fn site_stream_seed(seed: u64, bench: &str, target: FaultTarget) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in bench.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let tag = match target {
+        FaultTarget::AStream => 0x5bd1_e995,
+        FaultTarget::RStream => 0xc2b2_ae35,
+    };
+    seed ^ h ^ tag
+}
+
+/// Deterministically enumerates `n` distinct injection sites for one
+/// benchmark × target. Sites land in the middle 90 % of the dynamic
+/// stream (`[dynamic/10, dynamic-10)`), bits in the low 16 (where the
+/// workloads' live values are). Depends only on `(seed, bench, target,
+/// dynamic)` — never on thread scheduling.
+pub fn enumerate_sites(
+    bench: &'static str,
+    target: FaultTarget,
+    dynamic: u64,
+    n: usize,
+    seed: u64,
+) -> Vec<InjectionSite> {
+    let lo = dynamic / 10;
+    let hi = dynamic.saturating_sub(10).max(lo + 1);
+    let space = (hi - lo).saturating_mul(16);
+    let n = n.min(usize::try_from(space).unwrap_or(usize::MAX));
+    let mut rng = XorShift64Star::new(site_stream_seed(seed, bench, target));
+    let mut seen: HashSet<(u64, u8)> = HashSet::with_capacity(n);
+    let mut sites = Vec::with_capacity(n);
+    while sites.len() < n {
+        let seq = rng.range_u64(lo, hi);
+        let bit = rng.below(16) as u8;
+        if seen.insert((seq, bit)) {
+            sites.push(InjectionSite {
+                bench,
+                target,
+                seq,
+                bit,
+            });
+        }
+    }
+    sites
+}
+
+/// Runs `sites` through the worker pool. Each worker owns CoW clones of
+/// the benchmark contexts and a fresh `SlipstreamProcessor` per run;
+/// results are reassembled in site order, so output is identical for any
+/// worker count.
+fn run_sites(
+    contexts: &[BenchContext],
+    sites: &[(usize, InjectionSite)],
+    workers: usize,
+    max_cycles: u64,
+) -> Vec<SiteResult> {
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, SiteResult)>> = Mutex::new(Vec::with_capacity(sites.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            let next = &next;
+            let results = &results;
+            let ctxs: Vec<BenchContext> = contexts.to_vec();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(ci, site)) = sites.get(i) else {
+                    break;
+                };
+                let ctx = &ctxs[ci];
+                let report = run_fault_experiment(
+                    ctx.cfg.clone(),
+                    &ctx.workload.program,
+                    site.target,
+                    FaultSpec {
+                        seq: site.seq,
+                        bit: site.bit,
+                    },
+                    max_cycles,
+                    &ctx.golden,
+                    ctx.baseline_detections,
+                );
+                let r = SiteResult {
+                    site,
+                    outcome: report.outcome,
+                    fired: report.fired,
+                    detections: report.detections,
+                    detection_latency: report.detection_latency,
+                    cycles: report.cycles,
+                };
+                results.lock().expect("worker panicked").push((i, r));
+            });
+        }
+    });
+    let mut v = results.into_inner().expect("worker panicked");
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs a full campaign: for every benchmark in `benches` and every target
+/// in `targets`, enumerates `cfg.sites_per_target` sites and sweeps them
+/// across `cfg.workers` threads.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    benches: &[&str],
+    targets: &[FaultTarget],
+) -> CampaignResult {
+    let start = Instant::now();
+    let contexts: Vec<BenchContext> = benches
+        .iter()
+        .map(|b| prepare(b, cfg.scale, cfg.max_cycles))
+        .collect();
+
+    let mut sites: Vec<(usize, InjectionSite)> = Vec::new();
+    for (ci, ctx) in contexts.iter().enumerate() {
+        for &target in targets {
+            sites.extend(
+                enumerate_sites(
+                    ctx.workload.name,
+                    target,
+                    ctx.dynamic,
+                    cfg.sites_per_target,
+                    cfg.seed,
+                )
+                .into_iter()
+                .map(|s| (ci, s)),
+            );
+        }
+    }
+
+    let site_results = run_sites(&contexts, &sites, cfg.workers, cfg.max_cycles);
+
+    let mut summaries: Vec<TargetSummary> = Vec::new();
+    for ctx in &contexts {
+        for &target in targets {
+            summaries.push(TargetSummary::new(ctx.workload.name, target));
+        }
+    }
+    let per_bench = targets.len();
+    for (&(ci, site), r) in sites.iter().zip(&site_results) {
+        let ti = targets
+            .iter()
+            .position(|&t| t == site.target)
+            .expect("site target is enumerated");
+        summaries[ci * per_bench + ti].absorb(r);
+    }
+
+    CampaignResult {
+        config: cfg.clone(),
+        summaries,
+        site_results,
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Prints a campaign as a stdout table (Figure 5 shape plus activation
+/// accounting and detection latency).
+pub fn print_campaign_table(result: &CampaignResult) {
+    println!(
+        "{:<10} {:<9} {:>6} {:>7} {:>6} {:>9} {:>7} {:>7} {:>6} {:>9}",
+        "benchmark",
+        "target",
+        "sites",
+        "!activ",
+        "fired",
+        "det+rec",
+        "masked",
+        "silent",
+        "hangs",
+        "lat(cyc)"
+    );
+    for s in &result.summaries {
+        println!(
+            "{:<10} {:<9} {:>6} {:>7} {:>6} {:>8.1}% {:>6.1}% {:>6.1}% {:>6} {:>9.1}",
+            s.bench,
+            target_label(s.target),
+            s.sites,
+            s.not_activated,
+            s.fired,
+            100.0 * s.rate(s.detected_recovered),
+            100.0 * s.rate(s.masked),
+            100.0 * s.rate(s.silent),
+            s.hangs,
+            s.latency.mean(),
+        );
+    }
+    let t = result.totals();
+    println!(
+        "{:<10} {:<9} {:>6} {:>7} {:>6} {:>8.1}% {:>6.1}% {:>6.1}% {:>6} {:>9.1}",
+        "TOTAL",
+        "both",
+        t.sites,
+        t.not_activated,
+        t.fired,
+        100.0 * t.rate(t.detected_recovered),
+        100.0 * t.rate(t.masked),
+        100.0 * t.rate(t.silent),
+        t.hangs,
+        t.latency.mean(),
+    );
+    println!(
+        "campaign: {} runs in {:.2}s ({:.1} runs/s, {:.2}M simulated cycles/s, {} workers)",
+        result.runs(),
+        result.elapsed_seconds,
+        result.runs_per_sec(),
+        result.sim_cycles() as f64 / result.elapsed_seconds.max(1e-9) / 1e6,
+        result.config.workers,
+    );
+}

@@ -2,21 +2,29 @@
 //! evaluation (§5) plus the §3 fault-tolerance scenarios.
 //!
 //! The binaries (`paper_tables`, `table1`, `table3`, `fig6`, `fig7`,
-//! `fig8`, `fault_tolerance`) print the same rows/series the paper
-//! reports; the Criterion benches in `benches/` time the simulators
-//! themselves and re-run reduced-scale versions of each experiment so
-//! `cargo bench` regenerates everything.
+//! `fig8`, `fault_tolerance`, `fault_campaign`) print the same
+//! rows/series the paper reports; the Criterion benches in `benches/`
+//! time the simulators themselves and re-run reduced-scale versions of
+//! each experiment so `cargo bench` regenerates everything.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Parallel, deterministic fault-injection campaigns (§3 / Figure 5).
+pub mod campaign;
+
 use slipstream_core::{
-    golden_state, run_fault_experiment, run_superscalar, BaselineStats, FaultOutcome, FaultTarget,
-    RemovalPolicy, SlipstreamConfig, SlipstreamProcessor, SlipstreamStats,
+    run_superscalar, BaselineStats, FaultTarget, RemovalPolicy, SlipstreamConfig,
+    SlipstreamProcessor, SlipstreamStats,
 };
-use slipstream_cpu::{CoreConfig, FaultSpec};
-use slipstream_isa::ArchState;
-use slipstream_workloads::{benchmark, suite, Workload, XorShift64Star};
+use slipstream_cpu::CoreConfig;
+use slipstream_workloads::{benchmark, suite, Workload};
+
+pub use campaign::{
+    available_workers, enumerate_sites, print_campaign_table, run_campaign, target_label,
+    CampaignConfig, CampaignResult, InjectionSite, LatencyHistogram, SiteResult, TargetSummary,
+    LATENCY_EDGES, TARGETS,
+};
 
 /// Cycle budget per run — far above anything a healthy run needs.
 pub const MAX_CYCLES: u64 = 50_000_000;
@@ -246,24 +254,34 @@ pub fn print_table3(rows: &[BenchRow]) {
 pub struct FaultCampaign {
     /// Faults that fired and were detected, with correct final output.
     pub detected_recovered: u64,
-    /// Faults with correct final output and no detection (masked), plus
-    /// faults that never fired.
+    /// Faults that fired with correct final output and no fault-attributed
+    /// detection (architecturally masked).
     pub masked: u64,
     /// Faults that corrupted the final output.
     pub silent: u64,
     /// Runs that failed to complete.
     pub hangs: u64,
+    /// Armed faults that never fired — dead injection sites, excluded from
+    /// the rate denominator (the paper counts activated faults only).
+    pub not_activated: u64,
 }
 
 impl FaultCampaign {
-    /// Total injections.
+    /// Total injections (activated or not).
     pub fn total(&self) -> u64 {
-        self.detected_recovered + self.masked + self.silent + self.hangs
+        self.detected_recovered + self.masked + self.silent + self.hangs + self.not_activated
+    }
+
+    /// Injections whose fault actually fired — the rate denominator.
+    pub fn activated(&self) -> u64 {
+        self.total() - self.not_activated
     }
 }
 
-/// Injects `n` random single-bit faults into `target` while running
-/// `bench_name` at `scale`, classifying each run.
+/// Injects `n` deterministic single-bit faults into `target` while running
+/// `bench_name` at `scale`, classifying each run. A thin single-bench
+/// wrapper over [`campaign::run_campaign`]; seeds/sites are identical to a
+/// full campaign with the same `seed`.
 pub fn fault_campaign(
     bench_name: &str,
     scale: f64,
@@ -271,46 +289,32 @@ pub fn fault_campaign(
     n: u64,
     seed: u64,
 ) -> FaultCampaign {
-    let w = benchmark(bench_name, scale).expect("known benchmark");
-    let golden: ArchState = golden_state(&w.program, 200_000_000);
-    let cfg = SlipstreamConfig::cmp_2x64x4();
-    let mut clean = SlipstreamProcessor::new(cfg.clone(), &w.program);
-    assert!(clean.run(MAX_CYCLES));
-    let base_detections = clean.stats().ir_mispredictions;
-    let dynamic = clean.stats().r_retired;
-
-    let mut rng = XorShift64Star::new(seed);
-    let mut campaign = FaultCampaign::default();
-    for _ in 0..n {
-        let fault = FaultSpec {
-            seq: rng.range_u64(dynamic / 10, dynamic.saturating_sub(10)),
-            bit: rng.below(16) as u8,
-        };
-        let report = run_fault_experiment(
-            cfg.clone(),
-            &w.program,
-            target,
-            fault,
-            MAX_CYCLES,
-            &golden,
-            base_detections,
-        );
-        match report.outcome {
-            FaultOutcome::DetectedRecovered => campaign.detected_recovered += 1,
-            FaultOutcome::Masked => campaign.masked += 1,
-            FaultOutcome::SilentCorruption => campaign.silent += 1,
-            FaultOutcome::Hang => campaign.hangs += 1,
-        }
+    let cfg = CampaignConfig {
+        scale,
+        sites_per_target: n as usize,
+        workers: available_workers(),
+        seed,
+        max_cycles: MAX_CYCLES,
+    };
+    let result = run_campaign(&cfg, &[bench_name], &[target]);
+    let s = result.totals();
+    FaultCampaign {
+        detected_recovered: s.detected_recovered,
+        masked: s.masked,
+        silent: s.silent,
+        hangs: s.hangs,
+        not_activated: s.not_activated,
     }
-    campaign
 }
 
-/// Pretty-prints a campaign.
+/// Pretty-prints a campaign (rates over activated injections).
 pub fn print_campaign(label: &str, c: &FaultCampaign) {
-    let pct = |n: u64| 100.0 * n as f64 / c.total().max(1) as f64;
+    let pct = |n: u64| 100.0 * n as f64 / c.activated().max(1) as f64;
     println!(
-        "{label}: {} injections — detected+recovered {:.0}%, masked {:.0}%, silent {:.0}%, hangs {}",
+        "{label}: {} injections ({} activated) — detected+recovered {:.0}%, masked {:.0}%, \
+         silent {:.0}%, hangs {}",
         c.total(),
+        c.activated(),
         pct(c.detected_recovered),
         pct(c.masked),
         pct(c.silent),

@@ -32,16 +32,24 @@ pub enum FaultTarget {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultOutcome {
     /// Final architectural output matches the oracle and at least one
-    /// divergence was detected along the way: detected and recovered.
+    /// fault-attributed divergence was detected along the way: detected
+    /// and recovered.
     DetectedRecovered,
-    /// Final output matches the oracle without any detection event — the
-    /// flipped bit was architecturally dead (or the fault never fired).
+    /// The fault *fired* and the final output still matches the oracle
+    /// without any fault-attributed detection — the flipped bit was
+    /// architecturally dead.
     Masked,
     /// Final output differs from the oracle: the fault escaped the
     /// redundancy (e.g. scenario 2) — silent data corruption.
     SilentCorruption,
     /// The run did not complete within its cycle budget.
     Hang,
+    /// The armed fault never fired (its target dynamic instruction was
+    /// never dispatched — e.g. an A-stream sequence number beyond the
+    /// reduced stream's length). The run is a dead injection site, not an
+    /// architecturally-masked fault, and is excluded from campaign rate
+    /// denominators (the paper's Figure 5 counts activated faults only).
+    NotActivated,
 }
 
 /// Everything observed about one fault-injection run.
@@ -52,8 +60,18 @@ pub struct FaultReport {
     /// Whether the armed fault actually fired (its target instruction
     /// dispatched).
     pub fired: bool,
-    /// IR-misprediction (divergence-detection) events during the run.
+    /// Cycle at which the fault fired (`None` when not activated).
+    pub fired_cycle: Option<u64>,
+    /// IR-misprediction (divergence-detection) events *attributed to the
+    /// fault*: the count beyond the fault-free baseline run. Downstream
+    /// consumers can sum this across a campaign without double-counting
+    /// ordinary removal-misprediction detections.
     pub detections: u64,
+    /// Raw IR-misprediction count of the run, baseline included.
+    pub total_detections: u64,
+    /// Cycles from the fault firing to the first fault-attributed
+    /// detection event (`None` if the fault was never detected).
+    pub detection_latency: Option<u64>,
     /// Cycles simulated.
     pub cycles: u64,
 }
@@ -91,29 +109,59 @@ pub fn run_fault_experiment(
     }
     let halted = proc.run(max_cycles);
     let stats = proc.stats();
-    let fired = match target {
-        FaultTarget::AStream => stats.a_core.faults_injected > 0,
-        FaultTarget::RStream => stats.r_core.faults_injected > 0,
+    let (fired, fired_cycle) = match target {
+        FaultTarget::AStream => (
+            stats.a_core.faults_injected > 0,
+            stats.a_core.fault_fired_cycle,
+        ),
+        FaultTarget::RStream => (
+            stats.r_core.faults_injected > 0,
+            stats.r_core.fault_fired_cycle,
+        ),
     };
+    let attributed = stats.ir_mispredictions.saturating_sub(baseline_detections);
+    // The first `baseline_detections` events are ordinary removal
+    // mispredictions; the first event past them is the fault's.
+    let detection_latency = if attributed > 0 {
+        usize::try_from(baseline_detections)
+            .ok()
+            .and_then(|i| stats.misp_cycles.get(i))
+            .zip(fired_cycle)
+            .map(|(&det, fire)| det.saturating_sub(fire))
+    } else {
+        None
+    };
+    // Classify on `fired` first: a fault that never dispatched is a dead
+    // injection site (NotActivated), not an architecturally-masked fault.
     let outcome = if !halted {
         FaultOutcome::Hang
     } else {
         let regs_ok = proc.r_core().arch_regs() == golden.regs();
         let mem_ok = proc.r_core().mem().first_difference(golden.mem()).is_none();
-        if regs_ok && mem_ok {
-            if stats.ir_mispredictions > baseline_detections {
-                FaultOutcome::DetectedRecovered
+        let correct = regs_ok && mem_ok;
+        if !fired {
+            if correct {
+                FaultOutcome::NotActivated
             } else {
-                FaultOutcome::Masked
+                // An unfired fault cannot corrupt output; surface the
+                // divergence as corruption so simulator bugs stay visible.
+                FaultOutcome::SilentCorruption
             }
-        } else {
+        } else if !correct {
             FaultOutcome::SilentCorruption
+        } else if attributed > 0 {
+            FaultOutcome::DetectedRecovered
+        } else {
+            FaultOutcome::Masked
         }
     };
     FaultReport {
         outcome,
         fired,
-        detections: stats.ir_mispredictions,
+        fired_cycle,
+        detections: attributed,
+        total_detections: stats.ir_mispredictions,
+        detection_latency,
         cycles: stats.cycles,
     }
 }

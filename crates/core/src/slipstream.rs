@@ -39,6 +39,10 @@ pub struct SlipstreamStats {
     pub removal_fraction: f64,
     /// IR-mispredictions detected.
     pub ir_mispredictions: u64,
+    /// Cycle of each IR-misprediction detection, in order. Fault campaigns
+    /// use this to attribute detections beyond the fault-free baseline to
+    /// the injected fault and to measure detection latency.
+    pub misp_cycles: Vec<u64>,
     /// IR-mispredictions per 1000 retired instructions (Table 3).
     pub ir_misp_per_kilo: f64,
     /// Mean recovery latency in cycles (Table 3's "avg. IR-misprediction
@@ -391,6 +395,7 @@ impl SlipstreamProcessor {
                 skipped as f64 / r.retired as f64
             },
             ir_mispredictions: self.ir_misps,
+            misp_cycles: self.misp_log.iter().map(|&(_, c)| c).collect(),
             ir_misp_per_kilo: kilo(self.ir_misps),
             avg_ir_penalty: if self.ir_misps == 0 {
                 0.0

@@ -325,6 +325,17 @@ fn fault_in_checked_region_is_detected_and_recovered() {
         FaultOutcome::DetectedRecovered,
         "A-stream faults are always detected (report: {report:?})"
     );
+    // `detections` is the fault-attributed delta: raw count minus the
+    // baseline's ordinary removal mispredictions.
+    assert!(report.detections >= 1, "delta must attribute the fault");
+    assert_eq!(report.total_detections, base_detections + report.detections);
+    let latency = report
+        .detection_latency
+        .expect("a detected fault reports its fire-to-detection latency");
+    assert!(
+        report.fired_cycle.unwrap() + latency <= report.cycles,
+        "detection happens within the run"
+    );
 
     // Same for a fault in the R-stream's *checked* (executed-in-A) region:
     // the R-stream's own wrong value mismatches the A-stream's prediction.
@@ -346,14 +357,16 @@ fn fault_in_checked_region_is_detected_and_recovered() {
 }
 
 #[test]
-fn fault_that_never_fires_is_masked() {
+fn fault_that_never_fires_is_not_activated() {
     let p = dense_program(100);
     let golden = golden_state(&p, 1_000_000);
     let cfg = SlipstreamConfig::cmp_2x64x4();
     let mut clean = SlipstreamProcessor::new(cfg.clone(), &p);
     assert!(clean.run(MAX_CYCLES));
     let base = clean.stats().ir_mispredictions;
-    // Armed far past the end of the program: never fires, output correct.
+    // Armed far past the end of the program: never fires. This is a dead
+    // injection site, not an architecturally-masked fault — conflating the
+    // two inflates campaign masking rates with runs that injected nothing.
     let report = run_fault_experiment(
         cfg,
         &p,
@@ -367,7 +380,13 @@ fn fault_that_never_fires_is_masked() {
         base,
     );
     assert!(!report.fired);
-    assert_eq!(report.outcome, FaultOutcome::Masked);
+    assert_eq!(report.fired_cycle, None);
+    assert_eq!(report.outcome, FaultOutcome::NotActivated);
+    assert_ne!(
+        report.outcome,
+        FaultOutcome::Masked,
+        "a never-fired fault must not count as masked"
+    );
 }
 
 #[test]

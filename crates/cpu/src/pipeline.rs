@@ -588,6 +588,8 @@ impl Core {
         out: &mut ExecOut,
     ) {
         self.stats.faults_injected += 1;
+        self.stats.fault_fired_cycle = Some(self.now);
+        self.stats.fault_fired_seq = Some(f.seq);
         if let Some((d, v)) = out.dest {
             out.dest = Some((d, v ^ (1u64 << (f.bit & 63))));
         } else if let Some((a, w, v)) = out.store {

@@ -38,6 +38,13 @@ pub struct CoreStats {
     pub flushes: u64,
     /// Transient faults injected into execution results.
     pub faults_injected: u64,
+    /// Cycle at which the armed transient fault fired (dispatched its
+    /// target instruction); `None` if it never fired. Fault campaigns
+    /// measure detection latency from this point.
+    pub fault_fired_cycle: Option<u64>,
+    /// Dispatch sequence number the fired fault struck (`None` if it
+    /// never fired).
+    pub fault_fired_seq: Option<u64>,
 }
 
 impl CoreStats {

@@ -44,7 +44,7 @@ fn main() {
         (FaultTarget::RStream, "R-stream"),
     ] {
         println!("injecting into the {label}:");
-        let mut counts = [0u32; 3];
+        let mut counts = [0u32; 4];
         for i in 0..12 {
             let fault = FaultSpec {
                 seq: dynamic / 4 + i * (dynamic / 24),
@@ -63,12 +63,13 @@ fn main() {
                 FaultOutcome::DetectedRecovered => counts[0] += 1,
                 FaultOutcome::Masked => counts[1] += 1,
                 FaultOutcome::SilentCorruption => counts[2] += 1,
+                FaultOutcome::NotActivated => counts[3] += 1,
                 FaultOutcome::Hang => unreachable!("runs always complete"),
             }
         }
         println!(
-            "  detected+recovered: {}   masked: {}   silent corruption: {}\n",
-            counts[0], counts[1], counts[2]
+            "  detected+recovered: {}   masked: {}   silent corruption: {}   not activated: {}\n",
+            counts[0], counts[1], counts[2], counts[3]
         );
     }
     println!("Only R-stream faults can corrupt silently, and only when they land");

@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> fault-campaign smoke (reduced-scale §3 sweep, fails on fault-path regressions)"
+cargo run --release -q -p slipstream-bench --bin fault_campaign -- --smoke
+
 echo "OK"
