@@ -26,12 +26,23 @@ use slipstream_core::FaultTarget;
 use slipstream_workloads::BENCHMARK_NAMES;
 
 fn main() {
-    let mut cfg = CampaignConfig::full();
-    let mut out: Option<String> = Some("BENCH_fault_campaign.json".to_string());
-    let mut smoke = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--smoke` selects the *base* config regardless of where it appears
+    // on the command line; every explicit flag then overlays it, so flag
+    // behavior is order-independent.
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg = if smoke {
+        CampaignConfig::smoke()
+    } else {
+        CampaignConfig::full()
+    };
+    let mut out: Option<String> = if smoke {
+        None
+    } else {
+        Some("BENCH_fault_campaign.json".to_string())
+    };
     let mut scaling_probe = false;
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| {
@@ -40,11 +51,6 @@ fn main() {
         };
         match args[i].as_str() {
             "--smoke" => {
-                smoke = true;
-                let workers = cfg.workers;
-                cfg = CampaignConfig::smoke();
-                cfg.workers = workers.min(4);
-                out = None;
                 i += 1;
             }
             "--sites" => {

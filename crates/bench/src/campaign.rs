@@ -25,7 +25,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use slipstream_core::{
-    golden_state, run_fault_experiment, FaultOutcome, FaultTarget, SlipstreamConfig,
+    golden_state, run_fault_experiment, FaultOutcome, FaultTarget, IrMispKind, SlipstreamConfig,
     SlipstreamProcessor,
 };
 use slipstream_cpu::FaultSpec;
@@ -234,9 +234,12 @@ impl TargetSummary {
     }
 
     /// Sites whose fault actually struck an instruction — the Figure 5
-    /// rate denominator.
+    /// rate denominator. Defined as `fired` (tracked for every run,
+    /// including hangs) rather than `sites - not_activated`: a hung run
+    /// whose fault never fired is classified `Hang`, not `NotActivated`,
+    /// and must not inflate the denominator.
     pub fn activated(&self) -> u64 {
-        self.sites - self.not_activated
+        self.fired
     }
 
     /// `n` as a fraction of activated sites (0.0 when none activated).
@@ -371,7 +374,9 @@ struct BenchContext {
     workload: Workload,
     cfg: SlipstreamConfig,
     golden: ArchState,
-    baseline_detections: u64,
+    /// Fault-free (kind, cycle) IR-misprediction log; fault runs attribute
+    /// detections by first divergence from it.
+    baseline_misp: Vec<(IrMispKind, u64)>,
     dynamic: u64,
 }
 
@@ -384,13 +389,13 @@ fn prepare(bench: &str, scale: f64, max_cycles: u64) -> BenchContext {
         clean.run(max_cycles),
         "{bench}: fault-free baseline did not complete"
     );
-    let stats = clean.stats();
+    let dynamic = clean.stats().r_retired;
     BenchContext {
         workload,
         cfg,
         golden,
-        baseline_detections: stats.ir_mispredictions,
-        dynamic: stats.r_retired,
+        baseline_misp: clean.misp_log.clone(),
+        dynamic,
     }
 }
 
@@ -475,7 +480,7 @@ fn run_sites(
                     },
                     max_cycles,
                     &ctx.golden,
-                    ctx.baseline_detections,
+                    &ctx.baseline_misp,
                 );
                 let r = SiteResult {
                     site,

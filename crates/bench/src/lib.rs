@@ -264,6 +264,8 @@ pub struct FaultCampaign {
     /// Armed faults that never fired — dead injection sites, excluded from
     /// the rate denominator (the paper counts activated faults only).
     pub not_activated: u64,
+    /// Injections whose fault actually fired (tracked even for hangs).
+    pub fired: u64,
 }
 
 impl FaultCampaign {
@@ -274,7 +276,7 @@ impl FaultCampaign {
 
     /// Injections whose fault actually fired — the rate denominator.
     pub fn activated(&self) -> u64 {
-        self.total() - self.not_activated
+        self.fired
     }
 }
 
@@ -304,6 +306,7 @@ pub fn fault_campaign(
         silent: s.silent,
         hangs: s.hangs,
         not_activated: s.not_activated,
+        fired: s.fired,
     }
 }
 

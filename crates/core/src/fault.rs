@@ -17,6 +17,7 @@ use slipstream_cpu::FaultSpec;
 use slipstream_isa::{ArchState, Program};
 
 use crate::config::SlipstreamConfig;
+use crate::rstream::IrMispKind;
 use crate::slipstream::SlipstreamProcessor;
 
 /// Which stream's core takes the bit flip.
@@ -63,9 +64,13 @@ pub struct FaultReport {
     /// Cycle at which the fault fired (`None` when not activated).
     pub fired_cycle: Option<u64>,
     /// IR-misprediction (divergence-detection) events *attributed to the
-    /// fault*: the count beyond the fault-free baseline run. Downstream
+    /// fault*: the events from the point where this run's misprediction
+    /// log first diverges from the fault-free baseline log. Downstream
     /// consumers can sum this across a campaign without double-counting
-    /// ordinary removal-misprediction detections.
+    /// ordinary removal-misprediction detections. (Post-recovery
+    /// perturbation can shift later ordinary events in time; those shifted
+    /// events count here too, so treat values > 1 as "detected, then
+    /// perturbed" rather than as independent detections.)
     pub detections: u64,
     /// Raw IR-misprediction count of the run, baseline included.
     pub total_detections: u64,
@@ -90,9 +95,16 @@ pub fn golden_state(program: &Program, fuel: u64) -> ArchState {
 }
 
 /// Injects one fault and classifies the run against `golden`.
-/// `baseline_detections` is the IR-misprediction count of a fault-free run
-/// of the same program/config: only detections beyond it are attributed to
-/// the fault (ordinary mispredicted removals also trigger detection).
+///
+/// `baseline_misp` is the `(kind, cycle)` IR-misprediction log of a
+/// fault-free run of the same program/config (ordinary mispredicted
+/// removals also trigger detection). Until the fault fires the simulation
+/// is deterministic and its log matches the baseline exactly, so the
+/// first event that differs — in kind *or* cycle — is the fault's
+/// detection. Comparing logs rather than raw counts stays correct when
+/// the fault's detection sits *before* remaining baseline events, and
+/// when post-recovery perturbation adds or removes ordinary events
+/// downstream (a count delta would misclassify both).
 pub fn run_fault_experiment(
     cfg: SlipstreamConfig,
     program: &Program,
@@ -100,7 +112,7 @@ pub fn run_fault_experiment(
     fault: FaultSpec,
     max_cycles: u64,
     golden: &ArchState,
-    baseline_detections: u64,
+    baseline_misp: &[(IrMispKind, u64)],
 ) -> FaultReport {
     let mut proc = SlipstreamProcessor::new(cfg, program);
     match target {
@@ -119,18 +131,22 @@ pub fn run_fault_experiment(
             stats.r_core.fault_fired_cycle,
         ),
     };
-    let attributed = stats.ir_mispredictions.saturating_sub(baseline_detections);
-    // The first `baseline_detections` events are ordinary removal
-    // mispredictions; the first event past them is the fault's.
-    let detection_latency = if attributed > 0 {
-        usize::try_from(baseline_detections)
-            .ok()
-            .and_then(|i| stats.misp_cycles.get(i))
-            .zip(fired_cycle)
-            .map(|(&det, fire)| det.saturating_sub(fire))
-    } else {
-        None
-    };
+    // First divergence of this run's misprediction log from the baseline
+    // log: everything up to `common` is ordinary removal mispredictions
+    // (identical kind and cycle); the event at `common`, if any, is the
+    // fault's detection, and everything after it is fault-perturbed.
+    let common = proc
+        .misp_log
+        .iter()
+        .zip(baseline_misp)
+        .take_while(|(a, b)| a == b)
+        .count();
+    let attributed = (proc.misp_log.len() - common) as u64;
+    let detection_latency = proc
+        .misp_log
+        .get(common)
+        .zip(fired_cycle)
+        .map(|(&(_, det), fire)| det.saturating_sub(fire));
     // Classify on `fired` first: a fault that never dispatched is a dead
     // injection site (NotActivated), not an architecturally-masked fault.
     let outcome = if !halted {

@@ -39,9 +39,10 @@ pub struct SlipstreamStats {
     pub removal_fraction: f64,
     /// IR-mispredictions detected.
     pub ir_mispredictions: u64,
-    /// Cycle of each IR-misprediction detection, in order. Fault campaigns
-    /// use this to attribute detections beyond the fault-free baseline to
-    /// the injected fault and to measure detection latency.
+    /// Cycle of each IR-misprediction detection, in order (the cycle
+    /// column of [`SlipstreamProcessor::misp_log`], which fault
+    /// experiments compare against a baseline run's log to attribute
+    /// detections and measure latency).
     pub misp_cycles: Vec<u64>,
     /// IR-mispredictions per 1000 retired instructions (Table 3).
     pub ir_misp_per_kilo: f64,

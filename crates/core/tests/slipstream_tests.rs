@@ -303,10 +303,10 @@ fn fault_in_checked_region_is_detected_and_recovered() {
     let p = dense_program(300);
     let golden = golden_state(&p, 1_000_000);
     let cfg = SlipstreamConfig::cmp_2x64x4();
-    // Fault-free baseline detection count.
+    // Fault-free baseline misprediction log.
     let mut clean = SlipstreamProcessor::new(cfg.clone(), &p);
     assert!(clean.run(MAX_CYCLES));
-    let base_detections = clean.stats().ir_mispredictions;
+    let base_log = clean.misp_log.clone();
 
     // Flip a bit in the A-stream in the middle of the run: every executed
     // A-stream value is checked, so this must be caught and repaired.
@@ -317,7 +317,7 @@ fn fault_in_checked_region_is_detected_and_recovered() {
         FaultSpec { seq: 700, bit: 5 },
         MAX_CYCLES,
         &golden,
-        base_detections,
+        &base_log,
     );
     assert!(report.fired, "fault must hit a real instruction");
     assert_eq!(
@@ -325,10 +325,16 @@ fn fault_in_checked_region_is_detected_and_recovered() {
         FaultOutcome::DetectedRecovered,
         "A-stream faults are always detected (report: {report:?})"
     );
-    // `detections` is the fault-attributed delta: raw count minus the
-    // baseline's ordinary removal mispredictions.
-    assert!(report.detections >= 1, "delta must attribute the fault");
-    assert_eq!(report.total_detections, base_detections + report.detections);
+    // `detections` is the fault-attributed count: events from the first
+    // divergence of this run's misprediction log against the baseline's.
+    assert!(
+        report.detections >= 1,
+        "divergence must attribute the fault"
+    );
+    assert!(
+        report.detections <= report.total_detections,
+        "attributed events are a suffix of the raw log"
+    );
     let latency = report
         .detection_latency
         .expect("a detected fault reports its fire-to-detection latency");
@@ -346,7 +352,7 @@ fn fault_in_checked_region_is_detected_and_recovered() {
         FaultSpec { seq: 700, bit: 5 },
         MAX_CYCLES,
         &golden,
-        base_detections,
+        &base_log,
     );
     assert!(report.fired);
     assert_eq!(
@@ -363,7 +369,7 @@ fn fault_that_never_fires_is_not_activated() {
     let cfg = SlipstreamConfig::cmp_2x64x4();
     let mut clean = SlipstreamProcessor::new(cfg.clone(), &p);
     assert!(clean.run(MAX_CYCLES));
-    let base = clean.stats().ir_mispredictions;
+    let base_log = clean.misp_log.clone();
     // Armed far past the end of the program: never fires. This is a dead
     // injection site, not an architecturally-masked fault — conflating the
     // two inflates campaign masking rates with runs that injected nothing.
@@ -377,7 +383,7 @@ fn fault_that_never_fires_is_not_activated() {
         },
         MAX_CYCLES,
         &golden,
-        base,
+        &base_log,
     );
     assert!(!report.fired);
     assert_eq!(report.fired_cycle, None);
@@ -398,6 +404,8 @@ fn fault_on_skipped_dead_value_is_masked() {
     let p = removable_heavy_program(2000);
     let golden = golden_state(&p, 10_000_000);
     let cfg = SlipstreamConfig::cmp_2x64x4();
+    let mut clean = SlipstreamProcessor::new(cfg.clone(), &p);
+    assert!(clean.run(MAX_CYCLES));
     // Iteration i's `li r4, 7` is dynamic instruction 5 + 8i + 3.
     let seq = 5 + 8 * 1500 + 3;
     let report = run_fault_experiment(
@@ -407,7 +415,7 @@ fn fault_on_skipped_dead_value_is_masked() {
         FaultSpec { seq, bit: 0 },
         MAX_CYCLES,
         &golden,
-        u64::MAX,
+        &clean.misp_log,
     );
     assert!(report.fired, "fault must strike the dead write");
     assert_eq!(
@@ -458,6 +466,8 @@ fn fault_in_skipped_region_can_corrupt_silently() {
     .unwrap();
     let golden = golden_state(&p, 10_000_000);
     let cfg = SlipstreamConfig::cmp_2x64x4();
+    let mut clean = SlipstreamProcessor::new(cfg.clone(), &p);
+    assert!(clean.run(MAX_CYCLES));
 
     // Last pass (k = 80) starts at dynamic seq 2 + 288*79; its inner loop
     // begins 30 instructions later; iteration j's store is 4j further.
@@ -473,7 +483,7 @@ fn fault_in_skipped_region_can_corrupt_silently() {
             FaultSpec { seq, bit: 0 },
             MAX_CYCLES,
             &golden,
-            u64::MAX,
+            &clean.misp_log,
         );
         assert_ne!(report.outcome, FaultOutcome::Hang);
         outcomes.push((seq, report.outcome, report.fired));

@@ -27,10 +27,11 @@ fn main() {
     let cfg = SlipstreamConfig::cmp_2x64x4();
 
     // Fault-free reference run (removal mispredictions also trigger
-    // detections; only detections beyond this count are the fault's).
+    // detections; a faulty run's misprediction log is compared against
+    // this one, and events past the first divergence are the fault's).
     let mut clean = SlipstreamProcessor::new(cfg.clone(), &w.program);
     assert!(clean.run(50_000_000));
-    let base = clean.stats().ir_mispredictions;
+    let base_log = clean.misp_log.clone();
     let dynamic = clean.stats().r_retired;
     println!(
         "workload: {} ({} instructions, {:.1}% removed by the A-stream)\n",
@@ -57,7 +58,7 @@ fn main() {
                 fault,
                 50_000_000,
                 &golden,
-                base,
+                &base_log,
             );
             match report.outcome {
                 FaultOutcome::DetectedRecovered => counts[0] += 1,
