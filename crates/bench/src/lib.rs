@@ -12,6 +12,10 @@
 
 /// Parallel, deterministic fault-injection campaigns (§3 / Figure 5).
 pub mod campaign;
+/// Parallel differential fuzzing over random programs.
+pub mod fuzz;
+/// Delta-debugging shrinker for failing fuzz cases.
+pub mod shrink;
 
 use slipstream_core::{
     run_superscalar, BaselineStats, FaultTarget, RemovalPolicy, SlipstreamConfig,
@@ -25,6 +29,11 @@ pub use campaign::{
     CampaignConfig, CampaignResult, InjectionSite, LatencyHistogram, SiteResult, TargetSummary,
     LATENCY_EDGES, TARGETS,
 };
+pub use fuzz::{
+    corpus_entry_text, enumerate_seeds, replay_corpus_dir, replay_corpus_file, run_fuzz,
+    write_corpus, FuzzConfig, FuzzResult, FuzzViolation, InvariantCoverage,
+};
+pub use shrink::{live_count, shrink, ShrinkOutcome};
 
 /// Cycle budget per run — far above anything a healthy run needs.
 pub const MAX_CYCLES: u64 = 50_000_000;

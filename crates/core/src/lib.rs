@@ -3,6 +3,8 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+/// Differential invariant checkers for the fuzzing subsystem.
+pub mod check;
 /// Processor and removal-policy configuration (paper Table 2).
 pub mod config;
 pub mod delay;
@@ -18,6 +20,9 @@ pub mod rstream;
 pub mod slipstream;
 
 pub use baseline::{run_superscalar, run_superscalar_with_core, BaselineStats};
+pub use check::{
+    catch_check, standard_invariants, CoreOracle, Invariant, SlipstreamOracle, StatsSanity,
+};
 pub use config::{RemovalPolicy, SlipstreamConfig};
 pub use delay::{DelayBuffer, DelayEntry, TraceCommit};
 pub use detector::{DetectorOutput, IrDetector};

@@ -87,6 +87,121 @@ impl Program {
         self.load_data(&mut mem);
         mem
     }
+
+    // ---- reduction helpers (test-case minimization) ----------------------
+    //
+    // A shrinker reduces a failing program by *rewriting* instructions in
+    // place — nop-ing a slot keeps every PC and branch target valid — and
+    // only at the very end deletes the accumulated `nop`s with
+    // [`Program::compacted`], which remaps control-flow targets.
+
+    /// PC of the instruction at text `index` (valid for `index <= len()`;
+    /// `len()` yields [`Program::text_end`]).
+    pub fn pc_of(&self, index: usize) -> u64 {
+        self.text_base + 4 * index as u64
+    }
+
+    /// Text index of `pc`, or `None` if `pc` is misaligned or outside the
+    /// text segment.
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        if pc < self.text_base || !(pc - self.text_base).is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((pc - self.text_base) / 4) as usize;
+        (idx < self.instrs.len()).then_some(idx)
+    }
+
+    /// A copy with the instruction at `index` replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn with_replaced(&self, index: usize, instr: Instr) -> Program {
+        let mut p = self.clone();
+        p.instrs[index] = instr;
+        p
+    }
+
+    /// A copy with every instruction named by `indices` rewritten to
+    /// `nop` — structure-preserving deletion: instruction positions, PCs,
+    /// and branch targets all stay valid. Out-of-range indices are ignored.
+    pub fn with_nops<I: IntoIterator<Item = usize>>(&self, indices: I) -> Program {
+        let mut p = self.clone();
+        for i in indices {
+            if let Some(slot) = p.instrs.get_mut(i) {
+                *slot = Instr::Nop;
+            }
+        }
+        p
+    }
+
+    /// A copy with every `nop` deleted and all in-text control-flow targets
+    /// remapped to the surviving instructions.
+    ///
+    /// A target that pointed at a deleted `nop` is redirected to the next
+    /// surviving instruction (falling through a `nop` and branching past it
+    /// are equivalent); a target at or past [`Program::text_end`] maps to
+    /// the new text end. Targets outside the text segment are left
+    /// untouched. Note that `jal` link values change with the layout, so
+    /// callers that care must re-validate the compacted program.
+    pub fn compacted(&self) -> Program {
+        // kept_before[i] = number of surviving instructions at indices < i;
+        // it doubles as the new index of the first survivor at-or-after i.
+        let mut kept_before = Vec::with_capacity(self.instrs.len() + 1);
+        let mut kept = 0usize;
+        for instr in &self.instrs {
+            kept_before.push(kept);
+            if !matches!(instr, Instr::Nop) {
+                kept += 1;
+            }
+        }
+        kept_before.push(kept);
+        let remap = |target: u64| -> u64 {
+            if target == self.text_end() {
+                return self.text_base + 4 * kept as u64;
+            }
+            match self.index_of(target) {
+                Some(idx) => self.text_base + 4 * kept_before[idx] as u64,
+                None => target,
+            }
+        };
+        let instrs: Vec<Instr> = self
+            .instrs
+            .iter()
+            .filter(|i| !matches!(i, Instr::Nop))
+            .map(|i| match *i {
+                Instr::Beq { a, b, target } => Instr::Beq {
+                    a,
+                    b,
+                    target: remap(target),
+                },
+                Instr::Bne { a, b, target } => Instr::Bne {
+                    a,
+                    b,
+                    target: remap(target),
+                },
+                Instr::Blt { a, b, target } => Instr::Blt {
+                    a,
+                    b,
+                    target: remap(target),
+                },
+                Instr::Bge { a, b, target } => Instr::Bge {
+                    a,
+                    b,
+                    target: remap(target),
+                },
+                Instr::J { target } => Instr::J {
+                    target: remap(target),
+                },
+                Instr::Jal { link, target } => Instr::Jal {
+                    link,
+                    target: remap(target),
+                },
+                other => other,
+            })
+            .collect();
+        Program::new(self.text_base, instrs, self.data.clone())
+    }
 }
 
 /// Programmatic construction of [`Program`]s, used by workload generators
@@ -134,6 +249,17 @@ impl ProgramBuilder {
     /// computing branch targets while emitting code.
     pub fn here(&self) -> u64 {
         self.text_base + 4 * self.instrs.len() as u64
+    }
+
+    /// Number of instructions pushed so far (the text index the next push
+    /// will occupy — used by generators that record structural spans).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
     }
 
     /// Appends one instruction, returning its PC.
@@ -248,6 +374,120 @@ mod tests {
         assert_eq!(mem.load_word(0x10_0000), 11);
         assert_eq!(mem.load_word(0x10_0008), 22);
         assert_eq!(mem.load_byte(0x20_0000), 0xaa);
+    }
+
+    #[test]
+    fn index_pc_roundtrip() {
+        let p = nop_program(4);
+        assert_eq!(p.pc_of(0), 0x1000);
+        assert_eq!(p.pc_of(3), 0x100c);
+        assert_eq!(p.index_of(0x100c), Some(3));
+        assert_eq!(p.index_of(0x1010), None); // text_end
+        assert_eq!(p.index_of(0x1002), None); // misaligned
+        assert_eq!(p.index_of(0xff8), None); // below base
+    }
+
+    #[test]
+    fn with_nops_and_replaced_rewrite_in_place() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Li {
+            d: Reg::new(1),
+            imm: 1,
+        });
+        b.push(Instr::Li {
+            d: Reg::new(2),
+            imm: 2,
+        });
+        b.push(Instr::Halt);
+        let p = b.build();
+        let q = p.with_nops([0]);
+        assert_eq!(q.instrs()[0], Instr::Nop);
+        assert_eq!(q.instrs()[1], p.instrs()[1]);
+        assert_eq!(q.len(), p.len(), "nop-ing preserves layout");
+        let r = p.with_replaced(
+            1,
+            Instr::Li {
+                d: Reg::new(2),
+                imm: 0,
+            },
+        );
+        assert_eq!(
+            r.instrs()[1],
+            Instr::Li {
+                d: Reg::new(2),
+                imm: 0
+            }
+        );
+        // Out-of-range nop indices are ignored.
+        assert_eq!(p.with_nops([99]).instrs(), p.instrs());
+    }
+
+    #[test]
+    fn compacted_drops_nops_and_remaps_targets() {
+        // 0: beq r0, r0, 0x1010 (over the nops, onto the li)
+        // 1: nop
+        // 2: nop
+        // 3: j 0x1008           (at a nop: redirects to the next survivor,
+        //                        which is the j itself at new pc 0x1004)
+        // 4: li r1, 7
+        // 5: halt
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Beq {
+            a: Reg::ZERO,
+            b: Reg::ZERO,
+            target: 0x1010,
+        });
+        b.push(Instr::Nop);
+        b.push(Instr::Nop);
+        b.push(Instr::J { target: 0x1008 });
+        b.push(Instr::Li {
+            d: Reg::new(1),
+            imm: 7,
+        });
+        b.push(Instr::Halt);
+        let p = b.build().compacted();
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Beq {
+                a: Reg::ZERO,
+                b: Reg::ZERO,
+                target: 0x1008, // li moved from index 4 to index 2
+            }
+        );
+        assert_eq!(p.instrs()[1], Instr::J { target: 0x1004 });
+        assert_eq!(
+            p.instrs()[2],
+            Instr::Li {
+                d: Reg::new(1),
+                imm: 7
+            }
+        );
+        assert_eq!(p.instrs()[3], Instr::Halt);
+    }
+
+    #[test]
+    fn compacted_maps_text_end_and_foreign_targets() {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Nop);
+        let end = 0x100c; // text_end of the 3-instruction program
+        b.push(Instr::Beq {
+            a: Reg::ZERO,
+            b: Reg::ZERO,
+            target: end,
+        });
+        b.push(Instr::J { target: 0x9000 }); // outside the text segment
+        let p = b.build().compacted();
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Beq {
+                a: Reg::ZERO,
+                b: Reg::ZERO,
+                target: 0x1008, // new text_end
+            }
+        );
+        assert_eq!(p.instrs()[1], Instr::J { target: 0x9000 });
     }
 
     #[test]

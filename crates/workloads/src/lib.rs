@@ -33,5 +33,7 @@ mod randprog;
 mod rng;
 
 pub use programs::{benchmark, suite, Workload, BENCHMARK_NAMES};
-pub use randprog::{random_program, RandProgConfig};
+pub use randprog::{
+    random_program, random_program_with_shape, ChunkKind, ChunkSpan, ProgramShape, RandProgConfig,
+};
 pub use rng::XorShift64Star;

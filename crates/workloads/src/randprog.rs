@@ -39,10 +39,111 @@ impl Default for RandProgConfig {
     }
 }
 
+/// What one top-level span of a generated program is (see
+/// [`ProgramShape`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Register-initialisation prologue (memory base plus r1..r23 seeds).
+    Prologue,
+    /// Straight-line arithmetic/memory chunk.
+    Straight,
+    /// Bounded countdown loop (`li counter, trip` / body / decrement /
+    /// `bne` back to the top).
+    Loop {
+        /// Text index of the `li counter, trip` header — rewrite this
+        /// instruction's immediate to shrink the trip count.
+        trip_li: usize,
+        /// Trip count the loop was generated with.
+        trip: u64,
+    },
+    /// Forward conditional branch skipping a short body.
+    Skip,
+    /// Silent-store / dead-write idiom (removal fodder).
+    SilentStore,
+    /// The final `halt`.
+    Epilogue,
+}
+
+/// One structural span: instruction indices `[start, end)` in text order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// What the span is.
+    pub kind: ChunkKind,
+    /// First instruction index of the span.
+    pub start: usize,
+    /// One past the last instruction index of the span.
+    pub end: usize,
+}
+
+impl ChunkSpan {
+    /// Number of instructions in the span.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The span's instruction indices.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The recoverable structure of a [`random_program`]: which instruction
+/// ranges form each top-level chunk, where loop headers live, and which
+/// register carries each trip count. Shrinkers reduce structurally (drop a
+/// whole chunk, shrink a trip count) instead of guessing at instruction
+/// boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramShape {
+    /// All spans in text order; together they cover the whole program.
+    pub chunks: Vec<ChunkSpan>,
+}
+
+impl ProgramShape {
+    /// The register generated loops count down (`r25`).
+    pub fn loop_counter() -> Reg {
+        Reg::new(25)
+    }
+
+    /// The loop spans, in text order.
+    pub fn loops(&self) -> impl Iterator<Item = &ChunkSpan> {
+        self.chunks
+            .iter()
+            .filter(|c| matches!(c.kind, ChunkKind::Loop { .. }))
+    }
+
+    /// The span containing instruction `index`, if any.
+    pub fn chunk_of(&self, index: usize) -> Option<&ChunkSpan> {
+        self.chunks
+            .iter()
+            .find(|c| c.start <= index && index < c.end)
+    }
+}
+
 /// Generates a deterministic random program from `seed`.
 pub fn random_program(seed: u64, cfg: RandProgConfig) -> Program {
+    random_program_with_shape(seed, cfg).0
+}
+
+/// [`random_program`], additionally returning the program's structural
+/// [`ProgramShape`]. The program is byte-identical to what
+/// `random_program(seed, cfg)` yields (shape recording consumes no
+/// randomness).
+pub fn random_program_with_shape(seed: u64, cfg: RandProgConfig) -> (Program, ProgramShape) {
     let mut rng = XorShift64Star::new(seed);
     let mut b = ProgramBuilder::new();
+    let mut chunks: Vec<ChunkSpan> = Vec::with_capacity(cfg.chunks + 2);
+    let span = |b: &ProgramBuilder, start: usize, kind: ChunkKind, out: &mut Vec<ChunkSpan>| {
+        out.push(ChunkSpan {
+            kind,
+            start,
+            end: b.len(),
+        });
+    };
     // r1..r23: general data registers. r24: memory base. r25: loop counter.
     // r26: scratch address.
     let data_reg = |rng: &mut XorShift64Star| Reg::new(rng.range_u64(1, 24) as u8);
@@ -60,8 +161,10 @@ pub fn random_program(seed: u64, cfg: RandProgConfig) -> Program {
             imm: (i as i64) * 7 - 40,
         });
     }
+    span(&b, 0, ChunkKind::Prologue, &mut chunks);
 
     for _ in 0..cfg.chunks {
+        let start = b.len();
         match rng.below(10) {
             // 0-5: straight-line arithmetic/memory chunk.
             0..=5 => {
@@ -69,10 +172,12 @@ pub fn random_program(seed: u64, cfg: RandProgConfig) -> Program {
                 for _ in 0..len {
                     emit_random_op(&mut b, &mut rng, data_reg, base, addr, &cfg);
                 }
+                span(&b, start, ChunkKind::Straight, &mut chunks);
             }
             // 6-7: a bounded countdown loop around a small body.
             6 | 7 => {
                 let trip = rng.range_u64(1, cfg.max_trip + 1) as i64;
+                let trip_li = b.len();
                 b.push(Instr::Li {
                     d: counter,
                     imm: trip,
@@ -92,6 +197,15 @@ pub fn random_program(seed: u64, cfg: RandProgConfig) -> Program {
                     b: Reg::ZERO,
                     target: top,
                 });
+                span(
+                    &b,
+                    start,
+                    ChunkKind::Loop {
+                        trip_li,
+                        trip: trip as u64,
+                    },
+                    &mut chunks,
+                );
             }
             // 8: a forward conditional skip (biased by construction).
             8 => {
@@ -116,6 +230,7 @@ pub fn random_program(seed: u64, cfg: RandProgConfig) -> Program {
                     }
                 };
                 b.patch(patch_pc, instr);
+                span(&b, start, ChunkKind::Skip, &mut chunks);
             }
             // 9: a silent-store or dead-write idiom (removal fodder).
             _ => {
@@ -137,11 +252,14 @@ pub fn random_program(seed: u64, cfg: RandProgConfig) -> Program {
                 let dead = data_reg(&mut rng);
                 b.push(Instr::Li { d: dead, imm: 99 }); // likely dead
                 b.push(Instr::Li { d: dead, imm: 100 });
+                span(&b, start, ChunkKind::SilentStore, &mut chunks);
             }
         }
     }
+    let halt_at = b.len();
     b.push(Instr::Halt);
-    b.build()
+    span(&b, halt_at, ChunkKind::Epilogue, &mut chunks);
+    (b.build(), ProgramShape { chunks })
 }
 
 fn emit_random_op(
@@ -259,6 +377,69 @@ mod tests {
         let p1 = random_program(1, RandProgConfig::default());
         let p2 = random_program(2, RandProgConfig::default());
         assert_ne!(p1.instrs(), p2.instrs());
+    }
+
+    #[test]
+    fn shape_covers_program_contiguously() {
+        for seed in 0..20 {
+            let (p, shape) = random_program_with_shape(seed, RandProgConfig::default());
+            let mut cursor = 0usize;
+            for c in &shape.chunks {
+                assert_eq!(c.start, cursor, "seed {seed}: spans must be contiguous");
+                assert!(!c.is_empty(), "seed {seed}: no empty spans");
+                cursor = c.end;
+            }
+            assert_eq!(cursor, p.len(), "seed {seed}: spans cover the program");
+            assert_eq!(
+                shape.chunks.first().map(|c| c.kind),
+                Some(ChunkKind::Prologue)
+            );
+            assert_eq!(
+                shape.chunks.last().map(|c| c.kind),
+                Some(ChunkKind::Epilogue)
+            );
+            assert_eq!(shape.chunks.last().map(ChunkSpan::len), Some(1));
+        }
+    }
+
+    #[test]
+    fn shape_loop_headers_name_the_trip_li() {
+        let mut loops_seen = 0;
+        for seed in 0..30 {
+            let (p, shape) = random_program_with_shape(seed, RandProgConfig::default());
+            for c in shape.loops() {
+                let ChunkKind::Loop { trip_li, trip } = c.kind else {
+                    unreachable!()
+                };
+                loops_seen += 1;
+                assert_eq!(trip_li, c.start, "loop header leads its span");
+                assert_eq!(
+                    p.instrs()[trip_li],
+                    Instr::Li {
+                        d: ProgramShape::loop_counter(),
+                        imm: trip as i64,
+                    },
+                    "seed {seed}: trip_li must be the counter load"
+                );
+                // The span ends with the decrement + backward branch.
+                assert!(matches!(
+                    p.instrs()[c.end - 1],
+                    Instr::Bne { a, target, .. }
+                        if a == ProgramShape::loop_counter() && target == p.pc_of(trip_li + 1)
+                ));
+                assert_eq!(shape.chunk_of(trip_li), Some(c));
+            }
+        }
+        assert!(loops_seen > 0, "30 seeds must produce at least one loop");
+    }
+
+    #[test]
+    fn shape_recording_does_not_perturb_generation() {
+        for seed in [0u64, 7, 0xdead_beef] {
+            let p1 = random_program(seed, RandProgConfig::default());
+            let (p2, _) = random_program_with_shape(seed, RandProgConfig::default());
+            assert_eq!(p1.instrs(), p2.instrs());
+        }
     }
 
     #[test]

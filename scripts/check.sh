@@ -19,4 +19,7 @@ cargo test --workspace -q
 echo "==> fault-campaign smoke (reduced-scale §3 sweep, fails on fault-path regressions)"
 cargo run --release -q -p slipstream-bench --bin fault_campaign -- --smoke
 
+echo "==> differential-fuzz smoke (oracle-vs-simulators sweep + corpus replay)"
+cargo run --release -q -p slipstream-bench --bin differential_fuzz -- --smoke --out BENCH_fuzz_smoke.json
+
 echo "OK"
