@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! differential_fuzz [--seeds N] [--workers W] [--seed X] [--out PATH]
-//!                   [--smoke] [--scaling-probe] [--emit-corpus]
+//!                   [--smoke] [--scaling-probe] [--emit-corpus] [--trace]
 //!                   [--corpus DIR] [--replay PATH]
 //! ```
 //!
@@ -19,14 +19,17 @@
 //! assertions that fail the build on any divergence, and no JSON artifact
 //! unless `--out` is given. `--replay PATH` only replays a corpus entry
 //! (or a directory of them) and exits. `--scaling-probe` reruns the sweep
-//! at 1 worker and asserts the rows are byte-identical.
+//! at 1 worker and asserts the rows are byte-identical. `--trace` writes a
+//! flight-recorder trace of each violation's minimized program next to its
+//! `.ssir` reproducer, headed by the first divergent event against the
+//! functional oracle (implies writing the reproducers too).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use slipstream_bench::{
-    corpus_entry_text, replay_corpus_dir, replay_corpus_file, run_fuzz, write_corpus, FuzzConfig,
-    FuzzResult,
+    corpus_entry_text, json, replay_corpus_dir, replay_corpus_file, run_fuzz, write_corpus_traced,
+    FuzzConfig, FuzzResult,
 };
 use slipstream_core::standard_invariants;
 
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
     };
     let mut corpus = corpus_dir();
     let mut emit_corpus = false;
+    let mut trace = false;
     let mut scaling_probe = false;
     let mut replay: Option<PathBuf> = None;
 
@@ -89,6 +93,10 @@ fn main() -> ExitCode {
             }
             "--emit-corpus" => {
                 emit_corpus = true;
+                i += 1;
+            }
+            "--trace" => {
+                trace = true;
                 i += 1;
             }
             "--scaling-probe" => {
@@ -148,8 +156,9 @@ fn main() -> ExitCode {
             );
             print!("{}", corpus_entry_text(v));
         }
-        if emit_corpus {
-            let paths = write_corpus(&corpus, &result.violations).expect("write corpus entries");
+        if emit_corpus || trace {
+            let paths = write_corpus_traced(&corpus, &result.violations, trace)
+                .expect("write corpus entries");
             for p in &paths {
                 eprintln!("wrote {}", p.display());
             }
@@ -261,17 +270,19 @@ fn probe_scaling(cfg: &FuzzConfig, pooled: &FuzzResult) {
 /// deterministic per-invariant rows.
 fn full_json(result: &FuzzResult) -> String {
     let cfg = &result.config;
+    let throughput = json::Obj::new()
+        .f64("elapsed_seconds", result.elapsed_seconds, 3)
+        .f64("seeds_per_sec", result.seeds_per_sec(), 2)
+        .raw("checks", result.checks())
+        .finish();
     format!(
         "{{\n  \"seed\": {}, \"seeds\": {}, \"workers\": {}, \"shrink_evals\": {},\n  \
-         \"throughput\": {{\"elapsed_seconds\": {:.3}, \"seeds_per_sec\": {:.2}, \
-         \"checks\": {}}},\n  \"rows\": {}\n}}\n",
+         \"throughput\": {},\n  \"rows\": {}\n}}\n",
         cfg.seed,
         cfg.seeds,
         cfg.workers,
         cfg.shrink_evals,
-        result.elapsed_seconds,
-        result.seeds_per_sec(),
-        result.checks(),
+        throughput,
         result.rows_json(),
     )
 }

@@ -11,18 +11,27 @@
 //! ```text
 //! fault_campaign [--sites N] [--workers W] [--scale S] [--seed X]
 //!                [--out PATH] [--smoke] [--scaling-probe]
+//!                [--trace DIR] [--trace-bench NAME] [--ring N]
+//!                [--metrics-interval N]
 //! ```
 //!
 //! `--smoke` runs the reduced-scale CI gate (≤ 10 s): same code path, few
 //! sites, small workloads, sanity assertions that fail the build on
 //! fault-path regressions, and no JSON artifact unless `--out` is given.
 //! `--scaling-probe` reruns the same site set at 1 and `--workers` threads
-//! and reports the wall-clock speedup.
+//! and reports the wall-clock speedup. `--trace DIR` re-runs the first
+//! detected+recovered site of `--trace-bench` (default: the first
+//! benchmark) for each target with the flight recorder frozen just after
+//! the detection, and dumps the Chrome trace + pipeview (+ metrics when
+//! `--metrics-interval` is nonzero) into `DIR`.
+
+use std::path::PathBuf;
 
 use slipstream_bench::{
-    print_campaign_table, run_campaign, target_label, CampaignConfig, CampaignResult, TARGETS,
+    chrome_trace_json, json, metrics_json, pipeview_text, print_campaign_table, run_campaign,
+    target_label, trace_first_detection, CampaignConfig, CampaignResult, TARGETS,
 };
-use slipstream_core::FaultTarget;
+use slipstream_core::{FaultTarget, TraceConfig};
 use slipstream_workloads::BENCHMARK_NAMES;
 
 fn main() {
@@ -42,6 +51,10 @@ fn main() {
         Some("BENCH_fault_campaign.json".to_string())
     };
     let mut scaling_probe = false;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut trace_bench = BENCHMARK_NAMES[0];
+    let mut ring = 65_536usize;
+    let mut metrics_interval = 0u64;
 
     let mut i = 0;
     while i < args.len() {
@@ -80,6 +93,27 @@ fn main() {
                 scaling_probe = true;
                 i += 1;
             }
+            "--trace" => {
+                trace_dir = Some(PathBuf::from(value(i)));
+                i += 2;
+            }
+            "--trace-bench" => {
+                let name = value(i).as_str();
+                trace_bench = BENCHMARK_NAMES
+                    .iter()
+                    .copied()
+                    .find(|b| *b == name)
+                    .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+                i += 2;
+            }
+            "--ring" => {
+                ring = value(i).parse().expect("--ring: integer");
+                i += 2;
+            }
+            "--metrics-interval" => {
+                metrics_interval = value(i).parse().expect("--metrics-interval: integer");
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -105,9 +139,61 @@ fn main() {
         probe_scaling(&cfg);
     }
 
+    if let Some(dir) = trace_dir {
+        dump_detection_traces(&cfg, trace_bench, &dir, ring, metrics_interval);
+    }
+
     if let Some(path) = out {
         std::fs::write(&path, full_json(&result)).expect("write campaign JSON");
         eprintln!("wrote {path}");
+    }
+}
+
+/// For each target, replays `bench`'s first detected+recovered site with
+/// the flight recorder frozen just after the detection and writes the
+/// exporter artifacts into `dir`.
+fn dump_detection_traces(
+    cfg: &CampaignConfig,
+    bench: &'static str,
+    dir: &std::path::Path,
+    ring: usize,
+    metrics_interval: u64,
+) {
+    std::fs::create_dir_all(dir).expect("create trace directory");
+    let trace = TraceConfig::flight(ring).with_metrics(metrics_interval);
+    for target in TARGETS {
+        let label = if target == FaultTarget::AStream {
+            "A"
+        } else {
+            "R"
+        };
+        let Some((site, report, rec)) = trace_first_detection(cfg, bench, target, trace) else {
+            eprintln!("trace: no detected+recovered site for {bench} {label}-stream");
+            continue;
+        };
+        eprintln!(
+            "trace: {bench} {label}-stream seq {} bit {} — fired @{:?}, detected after {:?} cycles \
+             ({} events held, {} dropped)",
+            site.seq,
+            site.bit,
+            report.fired_cycle,
+            report.detection_latency,
+            rec.events.len(),
+            rec.dropped,
+        );
+        let stem = format!("fault_{bench}_{label}");
+        let mut artifacts = vec![
+            (format!("{stem}.chrome.json"), chrome_trace_json(&rec)),
+            (format!("{stem}.pipeview.txt"), pipeview_text(&rec)),
+        ];
+        if metrics_interval != 0 {
+            artifacts.push((format!("{stem}.metrics.json"), metrics_json(&rec.samples)));
+        }
+        for (name, text) in artifacts {
+            let path = dir.join(name);
+            std::fs::write(&path, text).expect("write trace artifact");
+            eprintln!("wrote {}", path.display());
+        }
     }
 }
 
@@ -170,34 +256,43 @@ fn probe_scaling(cfg: &CampaignConfig) {
 fn full_json(result: &CampaignResult) -> String {
     let cfg = &result.config;
     let totals = result.totals();
+    let throughput = json::Obj::new()
+        .f64("elapsed_seconds", result.elapsed_seconds, 3)
+        .raw("runs", result.runs())
+        .f64("runs_per_sec", result.runs_per_sec(), 2)
+        .raw("sim_cycles", result.sim_cycles())
+        .f64(
+            "sim_cycles_per_sec",
+            result.sim_cycles() as f64 / result.elapsed_seconds.max(1e-9),
+            0,
+        )
+        .finish();
+    let totals_obj = json::Obj::new()
+        .raw("sites", totals.sites)
+        .raw("not_activated", totals.not_activated)
+        .raw("activated", totals.activated())
+        .raw("detected_recovered", totals.detected_recovered)
+        .raw("masked", totals.masked)
+        .raw("silent_corruption", totals.silent)
+        .raw("hangs", totals.hangs)
+        .f64(
+            "rate_detected_recovered",
+            totals.rate(totals.detected_recovered),
+            4,
+        )
+        .f64("rate_masked", totals.rate(totals.masked), 4)
+        .f64("rate_silent", totals.rate(totals.silent), 4)
+        .f64("detection_latency_mean_cycles", totals.latency.mean(), 2)
+        .finish();
     format!(
         "{{\n  \"seed\": {}, \"scale\": {}, \"sites_per_target\": {}, \"workers\": {},\n  \
-         \"throughput\": {{\"elapsed_seconds\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.2}, \
-         \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}}},\n  \"rows\": {},\n  \
-         \"totals\": {{\"sites\": {}, \"not_activated\": {}, \"activated\": {}, \
-         \"detected_recovered\": {}, \"masked\": {}, \"silent_corruption\": {}, \"hangs\": {}, \
-         \"rate_detected_recovered\": {:.4}, \"rate_masked\": {:.4}, \"rate_silent\": {:.4}, \
-         \"detection_latency_mean_cycles\": {:.2}}}\n}}\n",
+         \"throughput\": {},\n  \"rows\": {},\n  \"totals\": {}\n}}\n",
         cfg.seed,
         cfg.scale,
         cfg.sites_per_target,
         cfg.workers,
-        result.elapsed_seconds,
-        result.runs(),
-        result.runs_per_sec(),
-        result.sim_cycles(),
-        result.sim_cycles() as f64 / result.elapsed_seconds.max(1e-9),
+        throughput,
         result.rows_json(),
-        totals.sites,
-        totals.not_activated,
-        totals.activated(),
-        totals.detected_recovered,
-        totals.masked,
-        totals.silent,
-        totals.hangs,
-        totals.rate(totals.detected_recovered),
-        totals.rate(totals.masked),
-        totals.rate(totals.silent),
-        totals.latency.mean(),
+        totals_obj,
     )
 }

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use slipstream_bench::MAX_CYCLES;
+use slipstream_bench::{json, MAX_CYCLES};
 use slipstream_core::{run_superscalar, SlipstreamConfig, SlipstreamProcessor};
 use slipstream_cpu::CoreConfig;
 use slipstream_workloads::suite;
@@ -134,35 +134,33 @@ fn main() {
         total_cycles as f64 / total_secs
     );
 
-    // Hand-rolled JSON: the workspace has no serde (and no registry access).
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"scale\": {scale},\n  \"reps\": {reps},\n"));
-    json.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"bench\": \"{}\", \"model\": \"{}\", \"instructions\": {}, \"cycles\": {}, \
-             \"seconds\": {:.6}, \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}{}\n",
-            r.bench,
-            r.model,
-            r.instructions,
-            r.cycles,
-            r.seconds,
-            r.instrs_per_sec(),
-            r.cycles_per_sec(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"total\": {{\"instructions\": {}, \"cycles\": {}, \"seconds\": {:.6}, \
-         \"instrs_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}\n",
-        total_instrs,
-        total_cycles,
-        total_secs,
-        total_instrs as f64 / total_secs,
-        total_cycles as f64 / total_secs
-    ));
-    json.push_str("}\n");
-    std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+    // Hand-rolled JSON via the shared helpers: the workspace has no serde
+    // (and no registry access).
+    let rows_json = json::array(
+        rows.iter().map(|r| {
+            json::Obj::new()
+                .str("bench", r.bench)
+                .str("model", r.model)
+                .raw("instructions", r.instructions)
+                .raw("cycles", r.cycles)
+                .f64("seconds", r.seconds, 6)
+                .f64("instrs_per_sec", r.instrs_per_sec(), 0)
+                .f64("cycles_per_sec", r.cycles_per_sec(), 0)
+                .finish()
+        }),
+        2,
+    );
+    let total_json = json::Obj::new()
+        .raw("instructions", total_instrs)
+        .raw("cycles", total_cycles)
+        .f64("seconds", total_secs, 6)
+        .f64("instrs_per_sec", total_instrs as f64 / total_secs, 0)
+        .f64("cycles_per_sec", total_cycles as f64 / total_secs, 0)
+        .finish();
+    let doc = format!(
+        "{{\n  \"scale\": {scale},\n  \"reps\": {reps},\n  \"rows\": {rows_json},\n  \
+         \"total\": {total_json}\n}}\n"
+    );
+    std::fs::write("BENCH_throughput.json", doc).expect("write BENCH_throughput.json");
     eprintln!("wrote BENCH_throughput.json");
 }

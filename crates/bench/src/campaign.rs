@@ -25,14 +25,14 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use slipstream_core::{
-    golden_state, run_fault_experiment, FaultOutcome, FaultTarget, IrMispKind, SlipstreamConfig,
-    SlipstreamProcessor,
+    golden_state, run_fault_experiment, run_fault_experiment_traced, FaultOutcome, FaultReport,
+    FaultTarget, FlightRecording, IrMispKind, SlipstreamConfig, SlipstreamProcessor, TraceConfig,
 };
 use slipstream_cpu::FaultSpec;
 use slipstream_isa::ArchState;
 use slipstream_workloads::{benchmark, Workload, XorShift64Star};
 
-use crate::MAX_CYCLES;
+use crate::{json, MAX_CYCLES};
 
 /// Both fault targets, in reporting order.
 pub const TARGETS: [FaultTarget; 2] = [FaultTarget::AStream, FaultTarget::RStream];
@@ -309,63 +309,44 @@ impl CampaignResult {
     /// fields): identical for identical `(seed, scale, sites, benches)`
     /// regardless of worker count.
     pub fn rows_json(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, s) in self.summaries.iter().enumerate() {
-            out.push_str(&summary_json("    ", s));
-            out.push_str(if i + 1 < self.summaries.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
-        }
-        out.push_str("  ]");
-        out
+        json::array(self.summaries.iter().map(summary_json), 2)
     }
 }
 
 fn histogram_json(h: &LatencyHistogram) -> String {
-    let buckets: Vec<String> = LATENCY_EDGES
-        .iter()
-        .zip(h.counts)
-        .map(|(&e, c)| {
-            if e == u64::MAX {
-                format!("{{\"le\": null, \"count\": {c}}}")
-            } else {
-                format!("{{\"le\": {e}, \"count\": {c}}}")
-            }
-        })
-        .collect();
-    format!(
-        "{{\"mean_cycles\": {:.2}, \"detected\": {}, \"buckets\": [{}]}}",
-        h.mean(),
-        h.n,
-        buckets.join(", ")
-    )
+    let buckets = LATENCY_EDGES.iter().zip(h.counts).map(|(&e, c)| {
+        let le = if e == u64::MAX {
+            "null".to_string()
+        } else {
+            e.to_string()
+        };
+        json::Obj::new().raw("le", le).raw("count", c).finish()
+    });
+    json::Obj::new()
+        .f64("mean_cycles", h.mean(), 2)
+        .raw("detected", h.n)
+        .raw("buckets", json::inline_array(buckets.collect::<Vec<_>>()))
+        .finish()
 }
 
-fn summary_json(indent: &str, s: &TargetSummary) -> String {
-    format!(
-        "{indent}{{\"bench\": \"{}\", \"target\": \"{}\", \"sites\": {}, \
-         \"not_activated\": {}, \"activated\": {}, \"fired\": {}, \
-         \"detected_recovered\": {}, \"masked\": {}, \"silent_corruption\": {}, \
-         \"hangs\": {}, \"rate_detected_recovered\": {:.4}, \"rate_masked\": {:.4}, \
-         \"rate_silent\": {:.4}, \"sim_cycles\": {}, \"detection_latency\": {}}}",
-        s.bench,
-        target_label(s.target),
-        s.sites,
-        s.not_activated,
-        s.activated(),
-        s.fired,
-        s.detected_recovered,
-        s.masked,
-        s.silent,
-        s.hangs,
-        s.rate(s.detected_recovered),
-        s.rate(s.masked),
-        s.rate(s.silent),
-        s.sim_cycles,
-        histogram_json(&s.latency),
-    )
+fn summary_json(s: &TargetSummary) -> String {
+    json::Obj::new()
+        .str("bench", s.bench)
+        .str("target", target_label(s.target))
+        .raw("sites", s.sites)
+        .raw("not_activated", s.not_activated)
+        .raw("activated", s.activated())
+        .raw("fired", s.fired)
+        .raw("detected_recovered", s.detected_recovered)
+        .raw("masked", s.masked)
+        .raw("silent_corruption", s.silent)
+        .raw("hangs", s.hangs)
+        .f64("rate_detected_recovered", s.rate(s.detected_recovered), 4)
+        .f64("rate_masked", s.rate(s.masked), 4)
+        .f64("rate_silent", s.rate(s.silent), 4)
+        .raw("sim_cycles", s.sim_cycles)
+        .raw("detection_latency", histogram_json(&s.latency))
+        .finish()
 }
 
 /// Per-benchmark shared state, computed once and CoW-cloned per worker.
@@ -553,6 +534,62 @@ pub fn run_campaign(
         site_results,
         elapsed_seconds: start.elapsed().as_secs_f64(),
     }
+}
+
+/// Margin (in cycles) kept after the attributed detection when freezing
+/// the flight recorder, so the window also shows the recovery starting.
+const FREEZE_PAD: u64 = 256;
+
+/// Finds the first enumerated site of `bench` × `target` whose fault is
+/// detected and recovered, then replays it with the flight recorder
+/// frozen `FREEZE_PAD` cycles after the detection: the recording holds
+/// the last-`ring_capacity` events *around* the detection point rather
+/// than the end of the run. Site enumeration matches [`run_campaign`]
+/// for the same config, so the traced site is one of the campaign's own
+/// rows. Returns `None` when no enumerated site detects.
+pub fn trace_first_detection(
+    cfg: &CampaignConfig,
+    bench: &'static str,
+    target: FaultTarget,
+    trace: TraceConfig,
+) -> Option<(InjectionSite, FaultReport, FlightRecording)> {
+    let ctx = prepare(bench, cfg.scale, cfg.max_cycles);
+    for site in enumerate_sites(bench, target, ctx.dynamic, cfg.sites_per_target, cfg.seed) {
+        let spec = FaultSpec {
+            seq: site.seq,
+            bit: site.bit,
+        };
+        // Pass 1 (untraced) locates the detection cycle; pass 2 replays
+        // deterministically with the recorder freezing just after it.
+        let scout = run_fault_experiment(
+            ctx.cfg.clone(),
+            &ctx.workload.program,
+            target,
+            spec,
+            cfg.max_cycles,
+            &ctx.golden,
+            &ctx.baseline_misp,
+        );
+        if scout.outcome != FaultOutcome::DetectedRecovered {
+            continue;
+        }
+        let detected_at = scout
+            .fired_cycle
+            .unwrap_or(0)
+            .saturating_add(scout.detection_latency.unwrap_or(0));
+        let (report, recording) = run_fault_experiment_traced(
+            ctx.cfg.clone(),
+            &ctx.workload.program,
+            target,
+            spec,
+            cfg.max_cycles,
+            &ctx.golden,
+            &ctx.baseline_misp,
+            Some(trace.frozen_after(detected_at + FREEZE_PAD)),
+        );
+        return Some((site, report, recording.expect("tracing was enabled")));
+    }
+    None
 }
 
 /// Prints a campaign as a stdout table (Figure 5 shape plus activation

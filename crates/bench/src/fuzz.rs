@@ -31,7 +31,7 @@ use slipstream_isa::{assemble, ArchState, Program};
 use slipstream_workloads::{random_program_with_shape, RandProgConfig, XorShift64Star};
 
 use crate::shrink::shrink;
-use crate::{available_workers, MAX_CYCLES};
+use crate::{available_workers, json, trace_export, MAX_CYCLES};
 
 /// Parameters of one fuzzing sweep.
 #[derive(Debug, Clone)]
@@ -170,44 +170,37 @@ impl FuzzResult {
     /// identical for identical `(seed, seeds, prog)` regardless of worker
     /// count.
     pub fn rows_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = write!(
-            out,
-            "    \"master_seed\": {}, \"seeds\": {}, \"gen_rejected\": {},\n    \"invariants\": [\n",
+        let invariants = json::array(
+            self.coverage.iter().map(|c| {
+                json::Obj::new()
+                    .str("name", c.name)
+                    .raw("checked", c.checked)
+                    .raw("violations", c.violations)
+                    .finish()
+            }),
+            4,
+        );
+        let violations = json::array(
+            self.violations.iter().map(|v| {
+                json::Obj::new()
+                    .raw("seed", v.seed)
+                    .str("invariant", v.invariant)
+                    .raw("original_instrs", v.original_instrs)
+                    .raw("minimized_live", v.minimized_live)
+                    .raw("shrink_evals", v.shrink_evals)
+                    .finish()
+            }),
+            4,
+        );
+        format!(
+            "{{\n    \"master_seed\": {}, \"seeds\": {}, \"gen_rejected\": {},\n    \
+             \"invariants\": {},\n    \"violations\": {}\n  }}",
             self.config.seed,
             self.seeds.len(),
-            self.gen_rejected
-        );
-        for (i, c) in self.coverage.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "      {{\"name\": \"{}\", \"checked\": {}, \"violations\": {}}}{}",
-                c.name,
-                c.checked,
-                c.violations,
-                if i + 1 < self.coverage.len() { "," } else { "" }
-            );
-        }
-        out.push_str("    ],\n    \"violations\": [\n");
-        for (i, v) in self.violations.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "      {{\"seed\": {}, \"invariant\": \"{}\", \"original_instrs\": {}, \
-                 \"minimized_live\": {}, \"shrink_evals\": {}}}{}",
-                v.seed,
-                v.invariant,
-                v.original_instrs,
-                v.minimized_live,
-                v.shrink_evals,
-                if i + 1 < self.violations.len() {
-                    ","
-                } else {
-                    ""
-                }
-            );
-        }
-        out.push_str("    ]\n  }");
-        out
+            self.gen_rejected,
+            invariants,
+            violations,
+        )
     }
 }
 
@@ -366,12 +359,36 @@ pub fn corpus_entry_name(v: &FuzzViolation) -> String {
 
 /// Writes each violation's corpus entry into `dir`, returning the paths.
 pub fn write_corpus(dir: &Path, violations: &[FuzzViolation]) -> std::io::Result<Vec<PathBuf>> {
+    write_corpus_traced(dir, violations, false)
+}
+
+/// File name for a violation's flight-recorder trace, written next to its
+/// `.ssir` reproducer. The `.trace.txt` extension keeps it invisible to
+/// [`replay_corpus_dir`], which only picks up `.ssir` entries.
+pub fn trace_entry_name(v: &FuzzViolation) -> String {
+    format!("seed_{:016x}_{}.trace.txt", v.seed, v.invariant)
+}
+
+/// [`write_corpus`] plus, when `with_traces` is set, a flight-recorder
+/// trace of the minimized program's slipstream replay next to each
+/// reproducer — headed by the first divergent event (kind, cycle, seq)
+/// against the functional oracle's retirement stream.
+pub fn write_corpus_traced(
+    dir: &Path,
+    violations: &[FuzzViolation],
+    with_traces: bool,
+) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut paths = Vec::with_capacity(violations.len());
     for v in violations {
         let path = dir.join(corpus_entry_name(v));
         std::fs::write(&path, corpus_entry_text(v))?;
         paths.push(path);
+        if with_traces {
+            let tpath = dir.join(trace_entry_name(v));
+            std::fs::write(&tpath, trace_export::violation_trace_text(v))?;
+            paths.push(tpath);
+        }
     }
     Ok(paths)
 }

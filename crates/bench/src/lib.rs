@@ -14,8 +14,12 @@
 pub mod campaign;
 /// Parallel differential fuzzing over random programs.
 pub mod fuzz;
+/// Shared hand-rolled JSON emission and validation.
+pub mod json;
 /// Delta-debugging shrinker for failing fuzz cases.
 pub mod shrink;
+/// Flight-recording exporters (Chrome trace, pipeview, metrics).
+pub mod trace_export;
 
 use slipstream_core::{
     run_superscalar, BaselineStats, FaultTarget, RemovalPolicy, SlipstreamConfig,
@@ -26,14 +30,19 @@ use slipstream_workloads::{benchmark, suite, Workload};
 
 pub use campaign::{
     available_workers, enumerate_sites, print_campaign_table, run_campaign, target_label,
-    CampaignConfig, CampaignResult, InjectionSite, LatencyHistogram, SiteResult, TargetSummary,
-    LATENCY_EDGES, TARGETS,
+    trace_first_detection, CampaignConfig, CampaignResult, InjectionSite, LatencyHistogram,
+    SiteResult, TargetSummary, LATENCY_EDGES, TARGETS,
 };
 pub use fuzz::{
     corpus_entry_text, enumerate_seeds, replay_corpus_dir, replay_corpus_file, run_fuzz,
-    write_corpus, FuzzConfig, FuzzResult, FuzzViolation, InvariantCoverage,
+    trace_entry_name, write_corpus, write_corpus_traced, FuzzConfig, FuzzResult, FuzzViolation,
+    InvariantCoverage,
 };
 pub use shrink::{live_count, shrink, ShrinkOutcome};
+pub use trace_export::{
+    chrome_trace_json, first_divergence, lifecycles, metrics_json, pipeview_text,
+    trace_slipstream_run, violation_trace_text, Divergence, Lifecycle,
+};
 
 /// Cycle budget per run — far above anything a healthy run needs.
 pub const MAX_CYCLES: u64 = 50_000_000;

@@ -19,6 +19,7 @@ use slipstream_isa::{ArchState, Program};
 use crate::config::SlipstreamConfig;
 use crate::rstream::IrMispKind;
 use crate::slipstream::SlipstreamProcessor;
+use crate::trace::{self, EventKind, FlightRecording, StreamId, TraceConfig, TraceEvent};
 
 /// Which stream's core takes the bit flip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,7 +115,39 @@ pub fn run_fault_experiment(
     golden: &ArchState,
     baseline_misp: &[(IrMispKind, u64)],
 ) -> FaultReport {
+    run_fault_experiment_traced(
+        cfg,
+        program,
+        target,
+        fault,
+        max_cycles,
+        golden,
+        baseline_misp,
+        None,
+    )
+    .0
+}
+
+/// [`run_fault_experiment`] with an optional flight recorder: when `trace`
+/// is `Some`, the run is recorded and the returned [`FlightRecording`]
+/// holds the event window plus a synthesized [`EventKind::FaultDetected`]
+/// event at the attributed detection point (detection is only knowable
+/// post-run, against the baseline log).
+#[allow(clippy::too_many_arguments)]
+pub fn run_fault_experiment_traced(
+    cfg: SlipstreamConfig,
+    program: &Program,
+    target: FaultTarget,
+    fault: FaultSpec,
+    max_cycles: u64,
+    golden: &ArchState,
+    baseline_misp: &[(IrMispKind, u64)],
+    trace: Option<TraceConfig>,
+) -> (FaultReport, Option<FlightRecording>) {
     let mut proc = SlipstreamProcessor::new(cfg, program);
+    if let Some(tc) = trace {
+        proc.enable_tracing(tc);
+    }
     match target {
         FaultTarget::AStream => proc.arm_fault_a(fault),
         FaultTarget::RStream => proc.arm_fault_r(fault),
@@ -171,7 +204,8 @@ pub fn run_fault_experiment(
             FaultOutcome::Masked
         }
     };
-    FaultReport {
+    let detection = proc.misp_log.get(common).copied();
+    let report = FaultReport {
         outcome,
         fired,
         fired_cycle,
@@ -179,5 +213,20 @@ pub fn run_fault_experiment(
         total_detections: stats.ir_mispredictions,
         detection_latency,
         cycles: stats.cycles,
-    }
+    };
+    let recording = proc.flight_recording().map(|mut rec| {
+        if let Some((kind, det_cycle)) = detection {
+            let (_code, pc) = trace::misp_code(kind);
+            rec.insert_event(TraceEvent {
+                cycle: det_cycle,
+                seq: fault.seq,
+                pc,
+                arg: report.detection_latency.unwrap_or(0),
+                stream: StreamId::Machine,
+                kind: EventKind::FaultDetected,
+            });
+        }
+        rec
+    });
+    (report, recording)
 }

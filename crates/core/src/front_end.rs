@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use slipstream_cpu::{CoreDriver, FetchItem};
+use slipstream_cpu::{CoreDriver, EventKind, FetchItem, TraceSink, NO_SEQ};
 use slipstream_isa::{Instr, Program, Retired};
 use slipstream_predict::{
     materialize_into, PathHistory, TraceId, TracePredictor, TracePredictorConfig, MAX_TRACE_LEN,
@@ -123,6 +123,24 @@ pub struct FrontEndStats {
     pub traces_reduced: u64,
 }
 
+impl FrontEndStats {
+    /// Counters accumulated since `earlier` was snapshotted (interval
+    /// sampling; see [`slipstream_cpu::CoreStats::delta`]).
+    pub fn delta(&self, earlier: &FrontEndStats) -> FrontEndStats {
+        FrontEndStats {
+            traces_predicted: self
+                .traces_predicted
+                .saturating_sub(earlier.traces_predicted),
+            traces_fallback: self.traces_fallback.saturating_sub(earlier.traces_fallback),
+            traces_correct: self.traces_correct.saturating_sub(earlier.traces_correct),
+            traces_committed: self
+                .traces_committed
+                .saturating_sub(earlier.traces_committed),
+            traces_reduced: self.traces_reduced.saturating_sub(earlier.traces_reduced),
+        }
+    }
+}
+
 /// A control-flow front end driving one core from the shared trace
 /// predictor, optionally reduced by the IR-predictor (A-stream mode).
 pub struct TraceFrontEnd {
@@ -183,6 +201,9 @@ pub struct TraceFrontEnd {
     pub stats: FrontEndStats,
     /// Debug histogram: committed traces by (start_pc, len).
     pub commit_histogram: HashMap<(u64, u8), u64>,
+    /// Flight recorder for removal events; the front end has no clock of
+    /// its own, so the owning harness stamps the cycle each step.
+    pub trace: Option<TraceSink>,
 }
 
 impl TraceFrontEnd {
@@ -241,6 +262,7 @@ impl TraceFrontEnd {
             skip_counts: HashMap::new(),
             stats: FrontEndStats::default(),
             commit_histogram: HashMap::new(),
+            trace: None,
         }
     }
 
@@ -647,6 +669,14 @@ impl CoreDriver for TraceFrontEnd {
             .expect("every dispatched item has retire metadata");
         debug_assert_eq!(key, meta, "items retire in dispatch order");
         for skip in &m.skips_before {
+            if let Some(t) = self.trace.as_mut() {
+                t.record(
+                    EventKind::Removed,
+                    NO_SEQ,
+                    skip.pc,
+                    skip.reason.bits() as u64,
+                );
+            }
             if let Some(c) = self.commit.feed(skip.pc, skip.taken, true, skip.ends_trace) {
                 self.finish_commit(c);
             }

@@ -18,6 +18,8 @@ pub mod recovery;
 pub mod removal;
 pub mod rstream;
 pub mod slipstream;
+/// Flight-recorder tracing, interval metrics, and trace merging.
+pub mod trace;
 
 pub use baseline::{run_superscalar, run_superscalar_with_core, BaselineStats};
 pub use check::{
@@ -26,10 +28,17 @@ pub use check::{
 pub use config::{RemovalPolicy, SlipstreamConfig};
 pub use delay::{DelayBuffer, DelayEntry, TraceCommit};
 pub use detector::{DetectorOutput, IrDetector};
-pub use fault::{golden_state, run_fault_experiment, FaultOutcome, FaultReport, FaultTarget};
+pub use fault::{
+    golden_state, run_fault_experiment, run_fault_experiment_traced, FaultOutcome, FaultReport,
+    FaultTarget,
+};
 pub use front_end::{FrontEndStats, TraceFrontEnd};
 pub use ir_table::{IrTable, RemovalInfo};
 pub use recovery::{RecoveryController, RecoveryOutcome};
 pub use removal::{Category, Reason};
 pub use rstream::{IrMispKind, RStreamDriver};
 pub use slipstream::{SlipstreamProcessor, SlipstreamStats};
+pub use trace::{
+    EventKind, FlightRecording, IntervalSample, IntervalSampler, StreamId, TraceConfig, TraceEvent,
+    TraceSink, NO_SEQ,
+};

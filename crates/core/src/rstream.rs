@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use slipstream_cpu::{CoreDriver, DispatchHints, FetchItem};
+use slipstream_cpu::{CoreDriver, DispatchHints, EventKind, FetchItem, TraceSink, NO_SEQ};
 use slipstream_isa::{MemWidth, Retired};
 
 use crate::config::RemovalPolicy;
@@ -64,6 +64,9 @@ pub struct RStreamDriver {
     pub value_hints: u64,
     /// Dynamic instructions checked against delay-buffer data.
     pub checked: u64,
+    /// Flight recorder for delay-buffer consumption; the driver has no
+    /// clock of its own, so the owning harness stamps the cycle each step.
+    pub trace: Option<TraceSink>,
 }
 
 impl RStreamDriver {
@@ -87,6 +90,7 @@ impl RStreamDriver {
             out_do_add: Vec::new(),
             value_hints: 0,
             checked: 0,
+            trace: None,
         }
     }
 
@@ -132,6 +136,14 @@ impl CoreDriver for RStreamDriver {
             return None;
         }
         let e = self.delay.pop()?;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(
+                EventKind::DelayDequeue,
+                NO_SEQ,
+                e.pc,
+                self.delay.len() as u64,
+            );
+        }
         let meta = self.next_meta;
         self.next_meta += 1;
         let new_block = self.prev_pc.is_none_or(|p| p + 4 != e.pc);

@@ -14,6 +14,10 @@ use crate::ir_table::IrTable;
 use crate::recovery::RecoveryController;
 use crate::removal::Reason;
 use crate::rstream::{IrMispKind, RStreamDriver};
+use crate::trace::{
+    self, EventKind, FlightRecording, IntervalSample, IntervalSampler, StreamId, TraceConfig,
+    TraceSink, NO_SEQ,
+};
 
 /// If the R-stream retires nothing for this many cycles the simulation is
 /// wedged (a harness bug, not a program property) and we panic loudly.
@@ -98,6 +102,16 @@ pub struct SlipstreamProcessor {
     /// Log of detected IR-mispredictions (kind, cycle) — used by the fault
     /// experiments to classify outcomes.
     pub misp_log: Vec<(IrMispKind, u64)>,
+    /// Machine-level flight recorder + interval sampler (`None` = tracing
+    /// disabled, which also leaves every component sink uninstalled).
+    machine_trace: Option<MachineTrace>,
+}
+
+/// Machine-level observability state, present only while tracing.
+struct MachineTrace {
+    /// Sink for cross-stream events (delay traffic, IR-misps, recovery).
+    sink: TraceSink,
+    sampler: IntervalSampler,
 }
 
 impl SlipstreamProcessor {
@@ -137,8 +151,91 @@ impl SlipstreamProcessor {
             r_retired: Vec::new(),
             online_check: None,
             misp_log: Vec::new(),
+            machine_trace: None,
             cfg,
         }
+    }
+
+    /// Turns on the flight recorder (and, if configured, interval
+    /// sampling): one bounded ring per component — A core, A front end,
+    /// machine, R core, R driver. Call before stepping; with tracing off
+    /// the step path pays only never-taken `Option` branches.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        let mk = |stream| {
+            let mut t = TraceSink::new(stream, cfg.ring_capacity);
+            if let Some(f) = cfg.freeze_after {
+                t.freeze_after(f);
+            }
+            t
+        };
+        self.a_core.set_trace(Some(mk(StreamId::AStream)));
+        self.r_core.set_trace(Some(mk(StreamId::RStream)));
+        self.a_fe.trace = Some(mk(StreamId::AStream));
+        self.r_drv.trace = Some(mk(StreamId::RStream));
+        self.machine_trace = Some(MachineTrace {
+            sink: mk(StreamId::Machine),
+            sampler: IntervalSampler::new(cfg.metrics_interval),
+        });
+    }
+
+    /// Whether [`SlipstreamProcessor::enable_tracing`] has been called.
+    pub fn tracing_enabled(&self) -> bool {
+        self.machine_trace.is_some()
+    }
+
+    /// Freezes every installed sink after `cycle` (see
+    /// [`TraceSink::freeze_after`]) — used by traced fault experiments to
+    /// keep the window around a detection instead of the end of the run.
+    pub fn freeze_trace_after(&mut self, cycle: u64) {
+        if let Some(t) = self.a_core.trace_mut() {
+            t.freeze_after(cycle);
+        }
+        if let Some(t) = self.r_core.trace_mut() {
+            t.freeze_after(cycle);
+        }
+        if let Some(t) = self.a_fe.trace.as_mut() {
+            t.freeze_after(cycle);
+        }
+        if let Some(t) = self.r_drv.trace.as_mut() {
+            t.freeze_after(cycle);
+        }
+        if let Some(mt) = self.machine_trace.as_mut() {
+            mt.sink.freeze_after(cycle);
+        }
+    }
+
+    fn sinks(&self) -> impl Iterator<Item = &TraceSink> {
+        // Fixed merge order = deterministic tie-breaking within a cycle:
+        // A core, A front end, machine, R core, R driver.
+        [
+            self.a_core.trace(),
+            self.a_fe.trace.as_ref(),
+            self.machine_trace.as_ref().map(|mt| &mt.sink),
+            self.r_core.trace(),
+            self.r_drv.trace.as_ref(),
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// The interval-metrics time-series (empty unless tracing with a
+    /// nonzero `metrics_interval`).
+    pub fn interval_samples(&self) -> &[IntervalSample] {
+        self.machine_trace
+            .as_ref()
+            .map(|mt| mt.sampler.samples.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The merged, export-ready view of the traced run (`None` when
+    /// tracing was never enabled).
+    pub fn flight_recording(&self) -> Option<FlightRecording> {
+        self.machine_trace.as_ref()?;
+        Some(FlightRecording {
+            events: trace::merge_events(self.sinks()),
+            samples: self.interval_samples().to_vec(),
+            dropped: self.sinks().map(|s| s.dropped()).sum(),
+        })
     }
 
     /// Enables expensive post-recovery invariant checks: after every
@@ -191,6 +288,20 @@ impl SlipstreamProcessor {
     pub fn step(&mut self) {
         self.cycles += 1;
 
+        // The front ends and the machine sink have no clock of their own;
+        // stamp them here (the cores stamp their sinks inside `cycle`).
+        if self.machine_trace.is_some() {
+            if let Some(t) = self.a_fe.trace.as_mut() {
+                t.set_cycle(self.cycles);
+            }
+            if let Some(t) = self.r_drv.trace.as_mut() {
+                t.set_cycle(self.cycles);
+            }
+            if let Some(mt) = self.machine_trace.as_mut() {
+                mt.sink.set_cycle(self.cycles);
+            }
+        }
+
         // Delay-buffer back-pressure gates A-stream retirement.
         self.a_fe.retire_budget = if self.r_drv.delay.control_full() {
             0
@@ -208,6 +319,10 @@ impl SlipstreamProcessor {
                 if let (Some(addr), Some(w)) = (e.addr, e.instr.mem_width()) {
                     self.recovery.add_undo(addr, w);
                 }
+            }
+            if let Some(mt) = self.machine_trace.as_mut() {
+                mt.sink
+                    .record(EventKind::DelayEnqueue, NO_SEQ, e.pc, e.skipped as u64);
             }
             self.r_drv.delay.push(e);
         }
@@ -287,6 +402,22 @@ impl SlipstreamProcessor {
             self.recover();
         }
 
+        if let Some(mt) = self.machine_trace.as_mut() {
+            if mt.sampler.due(self.cycles) {
+                let skipped: u64 = self.a_fe.skip_counts.values().sum();
+                mt.sampler.sample(
+                    self.cycles,
+                    self.a_core.stats(),
+                    self.r_core.stats(),
+                    &self.a_fe.stats,
+                    skipped,
+                    self.ir_misps,
+                    self.r_drv.value_hints,
+                    self.r_drv.delay.len() as u64,
+                );
+            }
+        }
+
         assert!(
             self.cycles - self.last_r_progress < HARNESS_WATCHDOG,
             "slipstream wedged: no R-stream retirement since cycle {} (now {}; \
@@ -314,6 +445,12 @@ impl SlipstreamProcessor {
         let latency = self
             .recovery
             .latency(self.cfg.recovery_startup, self.cfg.restores_per_cycle);
+        if let Some(mt) = self.machine_trace.as_mut() {
+            let (code, pc) = trace::misp_code(kind);
+            mt.sink.record(EventKind::IrMispredict, NO_SEQ, pc, code);
+            mt.sink
+                .record(EventKind::Recovery, NO_SEQ, restart, latency);
+        }
         let outcome = self
             .recovery
             .recover(self.a_core.mem_mut(), self.r_core.mem());

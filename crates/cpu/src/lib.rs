@@ -51,6 +51,7 @@ mod driver;
 mod drivers;
 mod pipeline;
 mod stats;
+mod trace;
 
 pub use cache::{Cache, CacheConfig};
 pub use config::CoreConfig;
@@ -58,3 +59,4 @@ pub use driver::{CoreDriver, DispatchHints, FetchItem};
 pub use drivers::{OracleDriver, StaticDriver};
 pub use pipeline::{Core, FaultSpec};
 pub use stats::CoreStats;
+pub use trace::{EventKind, StreamId, TraceEvent, TraceSink, NO_SEQ};

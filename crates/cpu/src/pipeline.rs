@@ -8,6 +8,7 @@ use crate::cache::Cache;
 use crate::config::CoreConfig;
 use crate::driver::{CoreDriver, DispatchHints, FetchItem};
 use crate::stats::CoreStats;
+use crate::trace::{EventKind, TraceSink, NO_SEQ};
 
 /// A single transient fault to inject: when the dynamic instruction with
 /// dispatch sequence number `seq` executes, bit `bit` of its result is
@@ -127,6 +128,9 @@ pub struct Core {
     next_seq: u64,
     last_progress: u64,
     stats: CoreStats,
+    /// Flight recorder; `None` (the default) records nothing and costs one
+    /// predictable branch per event site.
+    trace: Option<TraceSink>,
 }
 
 impl Core {
@@ -158,6 +162,7 @@ impl Core {
             next_seq: 0,
             last_progress: 0,
             stats: CoreStats::default(),
+            trace: None,
         }
     }
 
@@ -179,6 +184,31 @@ impl Core {
     /// Timing and event statistics.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Installs (or removes, with `None`) a flight-recorder sink. With no
+    /// sink installed the pipeline records nothing.
+    pub fn set_trace(&mut self, sink: Option<TraceSink>) {
+        self.trace = sink;
+    }
+
+    /// The installed flight recorder, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Mutable access to the installed flight recorder (the slipstream
+    /// harness uses it to freeze the ring around a detection).
+    pub fn trace_mut(&mut self) -> Option<&mut TraceSink> {
+        self.trace.as_mut()
+    }
+
+    /// Records one event into the flight recorder, if one is installed.
+    #[inline]
+    fn trace_event(&mut self, kind: EventKind, seq: u64, pc: u64, arg: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(kind, seq, pc, arg);
+        }
     }
 
     /// The architectural (retired) register file.
@@ -248,6 +278,7 @@ impl Core {
         self.spec_regs = self.arch_regs;
         self.halted = false;
         self.stats.flushes += 1;
+        self.trace_event(EventKind::Flush, NO_SEQ, 0, 0);
         self.last_progress = self.now;
     }
 
@@ -274,6 +305,9 @@ impl Core {
         retired.clear();
         self.now += 1;
         self.stats.cycles += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.set_cycle(self.now);
+        }
         // Resolve before retiring so a completing mispredicted branch
         // redirects the driver even if it also retires this cycle.
         self.resolve_redirect(driver);
@@ -326,6 +360,7 @@ impl Core {
                 self.halted = true;
             }
             self.stats.retired += 1;
+            self.trace_event(EventKind::Retire, entry.rec.seq, entry.rec.pc, 0);
             driver.on_retire(&entry.rec, entry.meta);
             out.push(entry.rec);
             if self.halted {
@@ -401,10 +436,15 @@ impl Core {
                 // Structural hazard (all MSHRs busy): retry next cycle.
                 continue;
             };
-            let e = &mut self.rob[idx];
-            e.issued = true;
-            e.complete_cycle = Some(self.now + lat);
+            let complete = self.now + lat;
+            let (seq, pc) = {
+                let e = &mut self.rob[idx];
+                e.issued = true;
+                e.complete_cycle = Some(complete);
+                (e.rec.seq, e.rec.pc)
+            };
             self.unissued -= 1;
+            self.trace_event(EventKind::Issue, seq, pc, complete);
         }
         self.issue_scratch = to_issue;
     }
@@ -426,6 +466,7 @@ impl Core {
                 if let Some(m) = rec.mem {
                     if !self.dcache.access(m.addr) {
                         self.stats.dcache_misses += 1;
+                        self.trace_event(EventKind::DcacheMiss, rec.seq, rec.pc, m.addr);
                     }
                 }
                 self.cfg.agen_latency
@@ -453,6 +494,7 @@ impl Core {
                     *slot = self.now + lat;
                     self.dcache.access(m.addr); // allocate the line
                     self.stats.dcache_misses += 1;
+                    self.trace_event(EventKind::DcacheMiss, rec.seq, rec.pc, m.addr);
                     lat
                 }
             }
@@ -487,10 +529,12 @@ impl Core {
                 !matches!(item.instr.kind(), InstrKind::Halt) && rec.next_pc != item.pred_npc;
             self.admit(item, rec, hints);
             self.stats.dispatched += 1;
+            self.trace_event(EventKind::Dispatch, rec.seq, rec.pc, 0);
             if rec.taken.is_some() {
                 self.stats.cond_branches += 1;
                 if mispredicted || item.pred_taken != rec.taken {
                     self.stats.branch_mispredicts += 1;
+                    self.trace_event(EventKind::BranchMispredict, rec.seq, rec.pc, rec.next_pc);
                     if std::env::var_os("SLIP_DEBUG_MISP").is_some() {
                         eprintln!(
                             "misp pc {:#x} taken {:?} pred {:?}",
@@ -500,6 +544,7 @@ impl Core {
                 }
             } else if mispredicted {
                 self.stats.jump_mispredicts += 1;
+                self.trace_event(EventKind::JumpMispredict, rec.seq, rec.pc, rec.next_pc);
                 if std::env::var_os("SLIP_DEBUG_MISP").is_some() {
                     eprintln!(
                         "misp pc {:#x} jump to {:#x} pred {:#x}",
@@ -590,6 +635,7 @@ impl Core {
         self.stats.faults_injected += 1;
         self.stats.fault_fired_cycle = Some(self.now);
         self.stats.fault_fired_seq = Some(f.seq);
+        self.trace_event(EventKind::FaultFired, f.seq, pc, f.bit as u64);
         if let Some((d, v)) = out.dest {
             out.dest = Some((d, v ^ (1u64 << (f.bit & 63))));
         } else if let Some((a, w, v)) = out.store {
@@ -688,12 +734,15 @@ impl Core {
             if !self.icache.access(item.pc) {
                 self.stats.icache_misses += 1;
                 self.fetch_resume_cycle = self.now + self.cfg.icache.miss_penalty;
+                self.trace_event(EventKind::IcacheMiss, NO_SEQ, item.pc, 0);
                 self.pending_fetch = Some(item);
                 break;
             }
             slots_used += item.slot_cost.max(1);
+            let fetched_pc = item.pc;
             self.fetch_queue.push_back(item);
             self.stats.fetched += 1;
+            self.trace_event(EventKind::Fetch, NO_SEQ, fetched_pc, 0);
             if slots_used >= self.cfg.fetch_width as u32 {
                 break;
             }

@@ -66,6 +66,80 @@ impl CoreStats {
             1000.0 * self.branch_mispredicts as f64 / self.retired as f64
         }
     }
+
+    /// Counters accumulated since `earlier` was snapshotted — the interval
+    /// sampler's workhorse. Every cumulative counter is subtracted
+    /// (saturating, so a stale snapshot cannot underflow); the fault-fire
+    /// markers are kept only if the fault fired *inside* the interval.
+    pub fn delta(&self, earlier: &CoreStats) -> CoreStats {
+        CoreStats {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            dispatched: self.dispatched.saturating_sub(earlier.dispatched),
+            retired: self.retired.saturating_sub(earlier.retired),
+            fetched: self.fetched.saturating_sub(earlier.fetched),
+            cond_branches: self.cond_branches.saturating_sub(earlier.cond_branches),
+            branch_mispredicts: self
+                .branch_mispredicts
+                .saturating_sub(earlier.branch_mispredicts),
+            jump_mispredicts: self
+                .jump_mispredicts
+                .saturating_sub(earlier.jump_mispredicts),
+            icache_misses: self.icache_misses.saturating_sub(earlier.icache_misses),
+            dcache_misses: self.dcache_misses.saturating_sub(earlier.dcache_misses),
+            rob_full_cycles: self.rob_full_cycles.saturating_sub(earlier.rob_full_cycles),
+            iq_full_cycles: self.iq_full_cycles.saturating_sub(earlier.iq_full_cycles),
+            fetch_stall_cycles: self
+                .fetch_stall_cycles
+                .saturating_sub(earlier.fetch_stall_cycles),
+            fetch_active_cycles: self
+                .fetch_active_cycles
+                .saturating_sub(earlier.fetch_active_cycles),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            fault_fired_cycle: if self.fault_fired_cycle == earlier.fault_fired_cycle {
+                None
+            } else {
+                self.fault_fired_cycle
+            },
+            fault_fired_seq: if self.fault_fired_seq == earlier.fault_fired_seq {
+                None
+            } else {
+                self.fault_fired_seq
+            },
+        }
+    }
+
+    /// Sums `other` into a combined view (aggregate stats across cores or
+    /// runs). Counters add; of the fault-fire markers the earliest fire
+    /// wins, matching campaign attribution which keys off the first fire.
+    pub fn merge(&self, other: &CoreStats) -> CoreStats {
+        let (fault_fired_cycle, fault_fired_seq) =
+            match (self.fault_fired_cycle, other.fault_fired_cycle) {
+                (Some(a), Some(b)) if b < a => (other.fault_fired_cycle, other.fault_fired_seq),
+                (Some(_), _) => (self.fault_fired_cycle, self.fault_fired_seq),
+                (None, Some(_)) => (other.fault_fired_cycle, other.fault_fired_seq),
+                (None, None) => (None, None),
+            };
+        CoreStats {
+            cycles: self.cycles + other.cycles,
+            dispatched: self.dispatched + other.dispatched,
+            retired: self.retired + other.retired,
+            fetched: self.fetched + other.fetched,
+            cond_branches: self.cond_branches + other.cond_branches,
+            branch_mispredicts: self.branch_mispredicts + other.branch_mispredicts,
+            jump_mispredicts: self.jump_mispredicts + other.jump_mispredicts,
+            icache_misses: self.icache_misses + other.icache_misses,
+            dcache_misses: self.dcache_misses + other.dcache_misses,
+            rob_full_cycles: self.rob_full_cycles + other.rob_full_cycles,
+            iq_full_cycles: self.iq_full_cycles + other.iq_full_cycles,
+            fetch_stall_cycles: self.fetch_stall_cycles + other.fetch_stall_cycles,
+            fetch_active_cycles: self.fetch_active_cycles + other.fetch_active_cycles,
+            flushes: self.flushes + other.flushes,
+            faults_injected: self.faults_injected + other.faults_injected,
+            fault_fired_cycle,
+            fault_fired_seq,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +163,108 @@ mod tests {
         let s = CoreStats::default();
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.branch_mispredicts_per_kilo(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_every_cumulative_counter() {
+        let earlier = CoreStats {
+            cycles: 100,
+            dispatched: 220,
+            retired: 200,
+            fetched: 260,
+            cond_branches: 30,
+            branch_mispredicts: 3,
+            jump_mispredicts: 1,
+            icache_misses: 2,
+            dcache_misses: 7,
+            rob_full_cycles: 11,
+            iq_full_cycles: 4,
+            fetch_stall_cycles: 9,
+            fetch_active_cycles: 80,
+            flushes: 1,
+            faults_injected: 0,
+            fault_fired_cycle: None,
+            fault_fired_seq: None,
+        };
+        let later = CoreStats {
+            cycles: 150,
+            dispatched: 320,
+            retired: 290,
+            fetched: 400,
+            cond_branches: 45,
+            branch_mispredicts: 5,
+            jump_mispredicts: 2,
+            icache_misses: 2,
+            dcache_misses: 12,
+            rob_full_cycles: 20,
+            iq_full_cycles: 6,
+            fetch_stall_cycles: 15,
+            fetch_active_cycles: 115,
+            flushes: 3,
+            faults_injected: 1,
+            fault_fired_cycle: Some(120),
+            fault_fired_seq: Some(250),
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.cycles, 50);
+        assert_eq!(d.dispatched, 100);
+        assert_eq!(d.retired, 90);
+        assert_eq!(d.fetched, 140);
+        assert_eq!(d.cond_branches, 15);
+        assert_eq!(d.branch_mispredicts, 2);
+        assert_eq!(d.jump_mispredicts, 1);
+        assert_eq!(d.icache_misses, 0);
+        assert_eq!(d.dcache_misses, 5);
+        assert_eq!(d.rob_full_cycles, 9);
+        assert_eq!(d.iq_full_cycles, 2);
+        assert_eq!(d.fetch_stall_cycles, 6);
+        assert_eq!(d.fetch_active_cycles, 35);
+        assert_eq!(d.flushes, 2);
+        assert_eq!(d.faults_injected, 1);
+        assert_eq!(d.fault_fired_cycle, Some(120), "fire inside interval kept");
+        assert_eq!(d.fault_fired_seq, Some(250));
+        // Fire before the snapshot is not re-reported in the next interval.
+        assert_eq!(later.delta(&later).fault_fired_cycle, None);
+        assert_eq!(later.delta(&later).cycles, 0);
+    }
+
+    #[test]
+    fn delta_then_merge_round_trips() {
+        let earlier = CoreStats {
+            cycles: 40,
+            retired: 90,
+            dcache_misses: 3,
+            ..Default::default()
+        };
+        let later = CoreStats {
+            cycles: 100,
+            retired: 250,
+            dcache_misses: 9,
+            fault_fired_cycle: Some(77),
+            fault_fired_seq: Some(140),
+            ..Default::default()
+        };
+        assert_eq!(earlier.merge(&later.delta(&earlier)), later);
+    }
+
+    #[test]
+    fn merge_keeps_earliest_fault_fire() {
+        let a = CoreStats {
+            fault_fired_cycle: Some(500),
+            fault_fired_seq: Some(1000),
+            ..Default::default()
+        };
+        let b = CoreStats {
+            fault_fired_cycle: Some(200),
+            fault_fired_seq: Some(400),
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.fault_fired_cycle, Some(200));
+        assert_eq!(m.fault_fired_seq, Some(400));
+        let m2 = b.merge(&a);
+        assert_eq!(m2.fault_fired_cycle, Some(200));
+        assert_eq!(m2.fault_fired_seq, Some(400));
+        assert_eq!(CoreStats::default().merge(&a).fault_fired_cycle, Some(500));
     }
 }

@@ -22,4 +22,7 @@ cargo run --release -q -p slipstream-bench --bin fault_campaign -- --smoke
 echo "==> differential-fuzz smoke (oracle-vs-simulators sweep + corpus replay)"
 cargo run --release -q -p slipstream-bench --bin differential_fuzz -- --smoke --out BENCH_fuzz_smoke.json
 
+echo "==> trace smoke (flight recorder + exporters, validates the JSON artifacts)"
+cargo run --release -q -p slipstream-bench --bin trace_dump -- --smoke
+
 echo "OK"
