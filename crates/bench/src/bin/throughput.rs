@@ -1,20 +1,42 @@
 //! Simulator throughput harness: how fast does the *simulator itself* run?
 //!
 //! Runs every suite workload to completion on the SS(64x4) baseline and the
-//! CMP(2x64x4) slipstream model, timing each run with `std::time::Instant`,
-//! and reports simulated instructions/second and cycles/second (best of
-//! `reps` runs, to shed warm-up and scheduler noise). Results go to stdout
-//! as a table and to `BENCH_throughput.json` for machine consumption.
+//! CMP(2x64x4) slipstream model under each scheduler, timing each run with
+//! `std::time::Instant`, and reports simulated instructions/second and
+//! cycles/second (best of `reps` runs, to shed warm-up and scheduler
+//! noise). Results go to stdout as a table and to `BENCH_throughput.json`
+//! for machine consumption.
 //!
-//! Usage: `throughput [scale] [reps]` — `scale` stretches the workload
-//! suite (default 1.0), `reps` is runs per measurement (default 3).
+//! Models:
+//! - `ss64` — single-core SS(64x4) baseline
+//! - `slipstream` — CMP(2x64x4), serial lockstep scheduler
+//! - `slipstream-window` — CMP(2x64x4), slack-window scheduler (the
+//!   library default)
+//! - `slipstream-threaded` — CMP(2x64x4), two OS threads over the SPSC
+//!   ring (only with `--parallel-cores`)
+//!
+//! Usage: `throughput [scale] [reps] [--parallel-cores] [--smoke]`
+//!
+//! - `scale` stretches the workload suite (default 1.0), `reps` is runs
+//!   per measurement (default 3).
+//! - `--parallel-cores` adds the `slipstream-threaded` rows.
+//! - `--smoke` is the CI regression gate: a quick reduced-scale pass
+//!   (scale 0.2, reps 1, all models) that does NOT overwrite
+//!   `BENCH_throughput.json`; instead it compares the measured per-model
+//!   simulation speed against the committed file and fails loudly if any
+//!   shared model has slowed to less than half its committed speed.
 
 use std::time::Instant;
 
 use slipstream_bench::{json, MAX_CYCLES};
-use slipstream_core::{run_superscalar, SlipstreamConfig, SlipstreamProcessor};
+use slipstream_core::{run_superscalar, ExecMode, SlipstreamConfig, SlipstreamProcessor};
 use slipstream_cpu::CoreConfig;
-use slipstream_workloads::suite;
+use slipstream_workloads::{suite, Workload};
+
+/// Allowed slowdown vs the committed baseline before `--smoke` fails:
+/// wall-clock noise on shared CI runners is real, a genuine regression from
+/// an accidental O(n²) or a lost optimisation is usually far bigger.
+const SMOKE_TOLERANCE: f64 = 2.0;
 
 /// One timed simulation: what ran, how much it simulated, how long it took.
 struct Measurement {
@@ -49,26 +71,28 @@ fn best_of<F: FnMut() -> (u64, u64)>(reps: u32, mut f: F) -> (u64, u64, f64) {
     (counts.0, counts.1, best)
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let scale: f64 = args
-        .next()
-        .map_or(1.0, |s| s.parse().expect("scale must be a number"));
-    let reps: u32 = args
-        .next()
-        .map_or(3, |s| s.parse().expect("reps must be an integer"))
-        .max(1);
+/// The models to measure, in output order.
+fn models(parallel_cores: bool) -> Vec<(&'static str, Option<ExecMode>)> {
+    let mut m = vec![
+        ("ss64", None),
+        ("slipstream", Some(ExecMode::Serial)),
+        ("slipstream-window", Some(ExecMode::Windowed)),
+    ];
+    if parallel_cores {
+        m.push(("slipstream-threaded", Some(ExecMode::Threaded)));
+    }
+    m
+}
 
-    let workloads = suite(scale);
-    let cfg = SlipstreamConfig::cmp_2x64x4();
-    let mut rows: Vec<Measurement> = Vec::new();
-
-    println!(
-        "{:<10} {:<14} {:>12} {:>12} {:>9} {:>12} {:>12}",
-        "benchmark", "model", "instrs", "cycles", "wall s", "instrs/s", "cycles/s"
-    );
-    for w in &workloads {
-        let (instrs, cycles, secs) = best_of(reps, || {
+fn measure(
+    w: &Workload,
+    cfg: &SlipstreamConfig,
+    model: &'static str,
+    mode: Option<ExecMode>,
+    reps: u32,
+) -> Measurement {
+    let (instructions, cycles, seconds) = match mode {
+        None => best_of(reps, || {
             let stats = run_superscalar(
                 CoreConfig::ss_64x4(),
                 cfg.trace_pred,
@@ -77,38 +101,113 @@ fn main() {
             );
             assert!(stats.halted, "{}: SS(64x4) did not complete", w.name);
             (stats.core.retired, stats.core.cycles)
-        });
-        rows.push(Measurement {
-            bench: w.name,
-            model: "ss64",
-            instructions: instrs,
-            cycles,
-            seconds: secs,
-        });
-
-        let (instrs, cycles, secs) = best_of(reps, || {
+        }),
+        Some(mode) => best_of(reps, || {
             let mut proc = SlipstreamProcessor::new(cfg.clone(), &w.program);
             assert!(
-                proc.run(MAX_CYCLES),
-                "{}: slipstream did not complete",
+                proc.run_mode(mode, MAX_CYCLES),
+                "{}: {model} did not complete",
                 w.name
             );
             let stats = proc.stats();
             // Count work on both cores: the simulator executes A- and
             // R-stream instructions even though IPC only counts R.
             (stats.a_retired + stats.r_retired, stats.cycles)
-        });
-        rows.push(Measurement {
-            bench: w.name,
-            model: "slipstream",
-            instructions: instrs,
-            cycles,
-            seconds: secs,
-        });
+        }),
+    };
+    Measurement {
+        bench: w.name,
+        model,
+        instructions,
+        cycles,
+        seconds,
+    }
+}
 
-        for r in &rows[rows.len() - 2..] {
+/// Per-model totals (instructions, seconds) over a row set.
+fn model_totals<'a>(rows: impl Iterator<Item = &'a Measurement>) -> Vec<(&'static str, u64, f64)> {
+    let mut totals: Vec<(&'static str, u64, f64)> = Vec::new();
+    for r in rows {
+        match totals.iter_mut().find(|(m, _, _)| *m == r.model) {
+            Some(t) => {
+                t.1 += r.instructions;
+                t.2 += r.seconds;
+            }
+            None => totals.push((r.model, r.instructions, r.seconds)),
+        }
+    }
+    totals
+}
+
+/// Extracts per-model (instructions, seconds) totals from a committed
+/// `BENCH_throughput.json` by string scanning — the workspace deliberately
+/// has no serde. Relies on the one-row-per-line layout this harness writes.
+fn committed_model_totals(doc: &str) -> Vec<(String, u64, f64)> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    let mut totals: Vec<(String, u64, f64)> = Vec::new();
+    for line in doc.lines() {
+        let (Some(model), Some(instrs), Some(secs)) = (
+            field(line, "model"),
+            field(line, "instructions"),
+            field(line, "seconds"),
+        ) else {
+            continue;
+        };
+        let instrs: u64 = instrs.parse().unwrap_or(0);
+        let secs: f64 = secs.parse().unwrap_or(0.0);
+        match totals.iter_mut().find(|(m, _, _)| m == model) {
+            Some(t) => {
+                t.1 += instrs;
+                t.2 += secs;
+            }
+            None => totals.push((model.to_string(), instrs, secs)),
+        }
+    }
+    totals
+}
+
+fn main() {
+    let mut scale: Option<f64> = None;
+    let mut reps: Option<u32> = None;
+    let mut smoke = false;
+    let mut parallel_cores = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--parallel-cores" => parallel_cores = true,
+            s if scale.is_none() => scale = Some(s.parse().expect("scale must be a number")),
+            s if reps.is_none() => reps = Some(s.parse().expect("reps must be an integer")),
+            s => panic!("unexpected argument: {s}"),
+        }
+    }
+    // Smoke mode measures every model: the regression gate should catch a
+    // slowdown in any scheduler, not just the default.
+    if smoke {
+        parallel_cores = true;
+    }
+    let scale = scale.unwrap_or(if smoke { 0.2 } else { 1.0 });
+    let reps = reps.unwrap_or(if smoke { 1 } else { 3 }).max(1);
+
+    let workloads = suite(scale);
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let model_list = models(parallel_cores);
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    println!(
+        "{:<10} {:<20} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "benchmark", "model", "instrs", "cycles", "wall s", "instrs/s", "cycles/s"
+    );
+    for w in &workloads {
+        for &(model, mode) in &model_list {
+            let r = measure(w, &cfg, model, mode, reps);
             println!(
-                "{:<10} {:<14} {:>12} {:>12} {:>9.3} {:>12.0} {:>12.0}",
+                "{:<10} {:<20} {:>12} {:>12} {:>9.3} {:>12.0} {:>12.0}",
                 r.bench,
                 r.model,
                 r.instructions,
@@ -117,22 +216,76 @@ fn main() {
                 r.instrs_per_sec(),
                 r.cycles_per_sec()
             );
+            rows.push(r);
         }
     }
 
-    let total_instrs: u64 = rows.iter().map(|r| r.instructions).sum();
-    let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
-    let total_secs: f64 = rows.iter().map(|r| r.seconds).sum();
-    println!(
-        "{:<10} {:<14} {:>12} {:>12} {:>9.3} {:>12.0} {:>12.0}",
-        "TOTAL",
-        "",
-        total_instrs,
-        total_cycles,
-        total_secs,
-        total_instrs as f64 / total_secs,
-        total_cycles as f64 / total_secs
-    );
+    let totals = model_totals(rows.iter());
+    for &(model, instrs, secs) in &totals {
+        println!(
+            "{:<10} {:<20} {:>12} {:>12} {:>9.3} {:>12.0}",
+            "TOTAL",
+            model,
+            instrs,
+            "",
+            secs,
+            instrs as f64 / secs
+        );
+    }
+    if let Some(&(_, base_i, base_s)) = totals.iter().find(|(m, _, _)| *m == "slipstream") {
+        let base = base_i as f64 / base_s;
+        for &(model, i, s) in &totals {
+            if model.starts_with("slipstream-") {
+                println!(
+                    "speedup    {:<20} {:>6.2}x vs serial slipstream",
+                    model,
+                    (i as f64 / s) / base
+                );
+            }
+        }
+    }
+
+    if smoke {
+        // Regression gate: compare per-model simulation speed against the
+        // committed baseline file instead of overwriting it.
+        let doc = std::fs::read_to_string("BENCH_throughput.json")
+            .expect("--smoke needs the committed BENCH_throughput.json in the working directory");
+        let committed = committed_model_totals(&doc);
+        assert!(
+            !committed.is_empty(),
+            "committed BENCH_throughput.json has no parsable model rows"
+        );
+        let mut checked = 0;
+        let mut failures = Vec::new();
+        for (model, c_instrs, c_secs) in &committed {
+            let Some(&(_, instrs, secs)) = totals.iter().find(|(m, _, _)| m == model) else {
+                continue; // model not measured in this configuration
+            };
+            let committed_speed = *c_instrs as f64 / c_secs;
+            let measured_speed = instrs as f64 / secs;
+            checked += 1;
+            println!(
+                "smoke      {model:<20} measured {measured_speed:>12.0} instrs/s, \
+                 committed {committed_speed:>12.0} (floor {:.0})",
+                committed_speed / SMOKE_TOLERANCE
+            );
+            if measured_speed < committed_speed / SMOKE_TOLERANCE {
+                failures.push(format!(
+                    "{model}: {measured_speed:.0} instrs/s is below {:.0} \
+                     (committed {committed_speed:.0} / tolerance {SMOKE_TOLERANCE})",
+                    committed_speed / SMOKE_TOLERANCE
+                ));
+            }
+        }
+        assert!(checked > 0, "no committed model matched a measured model");
+        assert!(
+            failures.is_empty(),
+            "simulator throughput regression:\n  {}",
+            failures.join("\n  ")
+        );
+        println!("smoke      OK — {checked} models within {SMOKE_TOLERANCE}x of committed speed");
+        return;
+    }
 
     // Hand-rolled JSON via the shared helpers: the workspace has no serde
     // (and no registry access).
@@ -150,16 +303,20 @@ fn main() {
         }),
         2,
     );
-    let total_json = json::Obj::new()
-        .raw("instructions", total_instrs)
-        .raw("cycles", total_cycles)
-        .f64("seconds", total_secs, 6)
-        .f64("instrs_per_sec", total_instrs as f64 / total_secs, 0)
-        .f64("cycles_per_sec", total_cycles as f64 / total_secs, 0)
-        .finish();
+    let totals_json = json::array(
+        totals.iter().map(|&(model, instrs, secs)| {
+            json::Obj::new()
+                .str("model", model)
+                .raw("instructions", instrs)
+                .f64("seconds", secs, 6)
+                .f64("instrs_per_sec", instrs as f64 / secs, 0)
+                .finish()
+        }),
+        2,
+    );
     let doc = format!(
         "{{\n  \"scale\": {scale},\n  \"reps\": {reps},\n  \"rows\": {rows_json},\n  \
-         \"total\": {total_json}\n}}\n"
+         \"model_totals\": {totals_json}\n}}\n"
     );
     std::fs::write("BENCH_throughput.json", doc).expect("write BENCH_throughput.json");
     eprintln!("wrote BENCH_throughput.json");

@@ -213,7 +213,7 @@ fn probe_removal(scale: f64, args: &[String]) {
             );
         }
         if args.iter().any(|a| a == "--misps") {
-            for (kind, cycle) in p.misp_log.iter().take(20) {
+            for (kind, cycle) in p.misp_log().iter().take(20) {
                 println!("    misp @{cycle}: {kind:?}");
             }
         }

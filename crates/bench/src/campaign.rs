@@ -375,7 +375,7 @@ fn prepare(bench: &str, scale: f64, max_cycles: u64) -> BenchContext {
         workload,
         cfg,
         golden,
-        baseline_misp: clean.misp_log.clone(),
+        baseline_misp: clean.misp_log().to_vec(),
         dynamic,
     }
 }

@@ -54,7 +54,7 @@ fn traced_detection(trace: TraceConfig) -> (FaultReport, FlightRecording) {
     let golden = golden_state(&program, BUDGET);
     let mut clean = SlipstreamProcessor::new(cfg.clone(), &program);
     assert!(clean.run(BUDGET), "fault-free run completes");
-    let baseline = clean.misp_log.clone();
+    let baseline = clean.misp_log().to_vec();
     let dynamic = clean.stats().r_retired;
     for seq in dynamic / 4..dynamic.saturating_sub(10) {
         let fault = FaultSpec { seq, bit: 2 };

@@ -41,6 +41,8 @@ pub fn run_superscalar(
     let mut retired: Vec<Retired> = Vec::new();
     while !core.halted() && core.now() < max_cycles {
         core.cycle(&mut fe, &mut retired);
+        // The baseline has no sync windows: train on every commit at once.
+        fe.apply_training();
     }
     BaselineStats {
         core: *core.stats(),
@@ -63,6 +65,7 @@ pub fn run_superscalar_with_core(
     let mut retired: Vec<Retired> = Vec::new();
     while !core.halted() && core.now() < max_cycles {
         core.cycle(&mut fe, &mut retired);
+        fe.apply_training();
     }
     let stats = BaselineStats {
         core: *core.stats(),

@@ -91,6 +91,15 @@ pub struct SlipstreamConfig {
     pub restores_per_cycle: u64,
     /// What the IR-detector may remove.
     pub removal: RemovalPolicy,
+    /// Slack-window synchronization quantum in cycles: all schedulers
+    /// apply deferred learning and refresh delay-buffer credits at
+    /// boundaries this many cycles apart, and the windowed/threaded
+    /// schedulers advance the A-core a whole window per burst. `0` is
+    /// treated as `1`. For a *given* quantum the serial, windowed, and
+    /// threaded schedulers are byte-identical; the quantum itself is an
+    /// architectural parameter (it sets the training-visibility latency,
+    /// like any pipeline depth).
+    pub sync_quantum: usize,
 }
 
 impl SlipstreamConfig {
@@ -107,6 +116,7 @@ impl SlipstreamConfig {
             recovery_startup: 5,
             restores_per_cycle: 4,
             removal: RemovalPolicy::all(),
+            sync_quantum: 64,
         }
     }
 

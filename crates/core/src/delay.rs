@@ -117,6 +117,18 @@ impl DelayBuffer {
         self.control_count >= self.control_cap
     }
 
+    /// Data-side occupancy (executed entries currently buffered). The
+    /// slack-window scheduler snapshots this at window boundaries to hand
+    /// the A-core a credit budget covering the whole window.
+    pub fn data_occupancy(&self) -> usize {
+        self.data_count
+    }
+
+    /// Control-side occupancy (trace boundaries currently buffered).
+    pub fn control_occupancy(&self) -> usize {
+        self.control_count
+    }
+
     /// Entries currently queued.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -256,6 +268,82 @@ mod tests {
         assert_eq!(db.peek_commit().unwrap().used_vec, 0b010);
         assert_eq!(db.pop_commit().unwrap().id, id);
         assert!(db.pop_commit().is_none());
+    }
+
+    #[test]
+    fn free_data_when_data_full_but_control_is_not() {
+        // The slack-window credit formula gates retirement on the *data*
+        // side alone when control has room: a full data side must read as
+        // zero credits while control_full() stays false.
+        let mut db = DelayBuffer::new(2, 8);
+        db.push(exec_entry(0, false));
+        db.push(exec_entry(4, false));
+        assert_eq!(db.free_data(), 0);
+        assert!(!db.control_full());
+        assert_eq!(db.data_occupancy(), 2);
+        assert_eq!(db.control_occupancy(), 0);
+        // Skip markers still flow even with zero data credits.
+        db.push(DelayEntry::skipped(8, Instr::Nop, 12, true));
+        assert_eq!(db.free_data(), 0);
+        assert_eq!(db.control_occupancy(), 1);
+    }
+
+    #[test]
+    fn push_while_draining_in_the_same_window() {
+        // Interleave pushes and pops the way one scheduler window does:
+        // occupancy must track the live difference, never go stale, and
+        // free_data must saturate rather than underflow.
+        let mut db = DelayBuffer::new(3, 3);
+        db.push(exec_entry(0, false));
+        db.push(exec_entry(4, true));
+        assert_eq!(db.pop().unwrap().pc, 0);
+        db.push(exec_entry(8, false));
+        db.push(exec_entry(12, true));
+        assert_eq!(db.free_data(), 0);
+        assert_eq!(db.data_occupancy(), 3);
+        assert_eq!(db.control_occupancy(), 2);
+        assert_eq!(db.pop().unwrap().pc, 4);
+        assert_eq!(db.free_data(), 1);
+        assert_eq!(db.control_occupancy(), 1);
+        db.push(exec_entry(16, false));
+        assert_eq!(db.free_data(), 0);
+        // Drain completely: occupancies return to zero exactly.
+        while db.pop().is_some() {}
+        assert_eq!(db.free_data(), 3);
+        assert_eq!(db.data_occupancy(), 0);
+        assert_eq!(db.control_occupancy(), 0);
+        assert!(!db.control_full());
+    }
+
+    #[test]
+    fn commit_queue_interleaves_independently_of_entries() {
+        // Commits ride a separate queue: draining entries must not consume
+        // commits and vice versa, and drain_commits empties only commits.
+        let mut db = DelayBuffer::new(4, 4);
+        let id = |pc: u64| TraceId {
+            start_pc: pc,
+            outcomes: 0,
+            branch_count: 0,
+            len: 2,
+        };
+        db.push(exec_entry(0, true));
+        db.push_commit(TraceCommit {
+            id: id(0),
+            used_vec: 0,
+        });
+        db.push(exec_entry(8, true));
+        db.push_commit(TraceCommit {
+            id: id(8),
+            used_vec: 1,
+        });
+        assert_eq!(db.pop().unwrap().pc, 0);
+        assert_eq!(db.peek_commit().unwrap().id.start_pc, 0);
+        assert_eq!(db.pop_commit().unwrap().id.start_pc, 0);
+        let drained = db.drain_commits();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id.start_pc, 8);
+        assert_eq!(db.len(), 1, "entries untouched by commit draining");
+        assert_eq!(db.control_occupancy(), 1);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! traces; on eviction a `{trace-id, ir-vec}` pair is produced for the
 //! IR-predictor.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use slipstream_isa::FastHashMap;
 
 use slipstream_isa::{Instr, MemWidth, Retired, NUM_REGS};
 use slipstream_predict::{TraceId, MAX_TRACE_LEN};
@@ -22,13 +24,45 @@ struct Producer {
     slot: u8,
 }
 
+/// Inline slot list: a trace holds at most [`MAX_TRACE_LEN`] (= 32)
+/// nodes, so dependence-edge lists fit in fixed arrays. The former
+/// `Vec<u8>` per node cost two heap allocations per retired A-stream
+/// instruction, straight out of the simulator's hot loop.
+#[derive(Debug, Clone, Copy)]
+struct SlotList<const N: usize> {
+    len: u8,
+    buf: [u8; N],
+}
+
+impl<const N: usize> SlotList<N> {
+    const fn new() -> Self {
+        SlotList {
+            len: 0,
+            buf: [0; N],
+        }
+    }
+
+    fn push(&mut self, v: u8) {
+        self.buf[self.len as usize] = v;
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Node {
     instr: Instr,
     /// Same-trace producer slots (back-propagation edges).
-    producers: Vec<u8>,
+    producers: SlotList<3>,
     /// Same-trace consumer slots.
-    consumers: Vec<u8>,
+    consumers: SlotList<{ MAX_TRACE_LEN }>,
     /// A consumer outside this node's trace referenced the value: the node
     /// can never be back-prop selected (no connection exists to track it).
     external_consumer: bool,
@@ -116,8 +150,11 @@ pub struct IrDetector {
     current: Option<TraceDfg>,
     next_trace_no: u64,
     regs: [RegState; NUM_REGS],
-    mem: HashMap<u64, MemState>,
+    mem: FastHashMap<u64, MemState>,
     outputs: VecDeque<DetectorOutput>,
+    /// Reusable scratch for `push`'s trigger list (avoids a per-retire
+    /// allocation).
+    pending_scratch: Vec<(Producer, Reason)>,
 }
 
 impl IrDetector {
@@ -135,8 +172,9 @@ impl IrDetector {
                 referenced: false,
                 value: 0,
             }; NUM_REGS],
-            mem: HashMap::new(),
+            mem: FastHashMap::default(),
             outputs: VecDeque::new(),
+            pending_scratch: Vec::new(),
         }
     }
 
@@ -164,7 +202,7 @@ impl IrDetector {
 
         // ---- source references (must precede destination processing so a
         // self-overwrite like `addi r1, r1, 1` counts as a reference).
-        let mut producers: Vec<u8> = Vec::new();
+        let mut producers = SlotList::<3>::new();
         let mut reference = |p: Option<Producer>, nodes: &mut IrDetector| {
             if let Some(prod) = p {
                 if prod.trace_no == cur_no {
@@ -195,8 +233,8 @@ impl IrDetector {
         let is_store = rec.mem.is_some_and(|m| m.is_store);
         let node = Node {
             instr: rec.instr,
-            producers: producers.clone(),
-            consumers: Vec::new(),
+            producers,
+            consumers: SlotList::new(),
             external_consumer: false,
             killed: false,
             has_dest: rec.dest.is_some() || is_store,
@@ -209,7 +247,7 @@ impl IrDetector {
         {
             let cur = self.current.as_mut().expect("current exists");
             cur.nodes.push(node);
-            for &p in &producers {
+            for &p in producers.as_slice() {
                 cur.nodes[p as usize].consumers.push(slot);
             }
             if let Some(t) = rec.taken {
@@ -221,7 +259,8 @@ impl IrDetector {
         }
 
         // ---- triggers and destination bookkeeping.
-        let mut pending_select: Vec<(Producer, Reason)> = Vec::new();
+        let mut pending_select = std::mem::take(&mut self.pending_scratch);
+        pending_select.clear();
 
         if self.policy.branches
             && matches!(
@@ -266,9 +305,10 @@ impl IrDetector {
             }
         }
 
-        for (p, r) in pending_select {
+        for &(p, r) in &pending_select {
             self.select(p, r);
         }
+        self.pending_scratch = pending_select;
 
         // ---- trace completion.
         let done = {
@@ -435,9 +475,9 @@ impl IrDetector {
             }
             node.selected = true;
             node.reason = node.reason.union(reason);
-            node.producers.clone()
+            node.producers
         };
-        for slot in producers {
+        for &slot in producers.as_slice() {
             self.try_select(Producer {
                 trace_no: p.trace_no,
                 slot,
@@ -467,7 +507,7 @@ impl IrDetector {
             }
             let mut inherited = Reason::PROP;
             let mut all_selected = true;
-            for &c in &node.consumers {
+            for &c in node.consumers.as_slice() {
                 let cn = &trace.nodes[c as usize];
                 if cn.selected {
                     inherited = inherited.union(cn.reason.triggers());

@@ -169,14 +169,14 @@ pub fn run_fault_experiment_traced(
     // (identical kind and cycle); the event at `common`, if any, is the
     // fault's detection, and everything after it is fault-perturbed.
     let common = proc
-        .misp_log
+        .misp_log()
         .iter()
         .zip(baseline_misp)
         .take_while(|(a, b)| a == b)
         .count();
-    let attributed = (proc.misp_log.len() - common) as u64;
+    let attributed = (proc.misp_log().len() - common) as u64;
     let detection_latency = proc
-        .misp_log
+        .misp_log()
         .get(common)
         .zip(fired_cycle)
         .map(|(&(_, det), fire)| det.saturating_sub(fire));
@@ -204,7 +204,7 @@ pub fn run_fault_experiment_traced(
             FaultOutcome::Masked
         }
     };
-    let detection = proc.misp_log.get(common).copied();
+    let detection = proc.misp_log().get(common).copied();
     let report = FaultReport {
         outcome,
         fired,

@@ -8,12 +8,22 @@
 //! line of front-end behaviour except the slipstream-specific parts —
 //! exactly the comparison the paper makes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use slipstream_isa::FastHashMap;
+
+/// Whether `SLIP_DEBUG_FE` was set, read once: an `env::var_os` per
+/// prepared trace was a measurable cost in the fetch hot path.
+fn debug_fe() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("SLIP_DEBUG_FE").is_some())
+}
 
 use slipstream_cpu::{CoreDriver, EventKind, FetchItem, TraceSink, NO_SEQ};
 use slipstream_isa::{Instr, Program, Retired};
 use slipstream_predict::{
-    materialize_into, PathHistory, TraceId, TracePredictor, TracePredictorConfig, MAX_TRACE_LEN,
+    materialize_into, PathHistory, TraceId, TracePredictor, TracePredictorConfig,
+    TracePredictorStats, MAX_TRACE_LEN,
 };
 
 use crate::delay::{DelayEntry, TraceCommit};
@@ -60,7 +70,7 @@ struct InflightTrace {
 /// Builds the trace id that *actually retired* (predicted outcomes for
 /// skipped slots, computed outcomes for executed ones) plus the used
 /// ir-vec, from the in-order retire stream.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct CommitBuilder {
     start_pc: Option<u64>,
     outcomes: u32,
@@ -109,7 +119,7 @@ impl CommitBuilder {
 }
 
 /// Accuracy/behaviour counters for a [`TraceFrontEnd`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FrontEndStats {
     /// Traces fetched from a predictor hit.
     pub traces_predicted: u64,
@@ -176,7 +186,7 @@ pub struct TraceFrontEnd {
     /// Last committed trace id per start PC — a tiny trace cache used as
     /// the fallback of last resort (repeats the previous path through this
     /// PC instead of guessing all-not-taken).
-    last_trace_at: HashMap<u64, TraceId>,
+    last_trace_at: FastHashMap<u64, TraceId>,
     commit: CommitBuilder,
     done: bool,
     /// Reusable trace-PC buffer (filled by `materialize_into`/fallback).
@@ -196,14 +206,21 @@ pub struct TraceFrontEnd {
     /// back-pressure; `usize::MAX` when unconstrained).
     pub retire_budget: usize,
     /// Removed-slot counts by [`Reason`] bits.
-    pub skip_counts: HashMap<u8, u64>,
+    pub skip_counts: FastHashMap<u8, u64>,
     /// Front-end statistics.
     pub stats: FrontEndStats,
     /// Debug histogram: committed traces by (start_pc, len).
-    pub commit_histogram: HashMap<(u64, u8), u64>,
+    pub commit_histogram: FastHashMap<(u64, u8), u64>,
     /// Flight recorder for removal events; the front end has no clock of
     /// its own, so the owning harness stamps the cycle each step.
     pub trace: Option<TraceSink>,
+    /// Committed trace ids whose *learning* side effects (predictor
+    /// training, retired history, trace cache, commit histogram) have not
+    /// been applied yet. All schedulers defer learning to the next sync
+    /// boundary ([`TraceFrontEnd::apply_training`]) so that the
+    /// slack-window checkpoint never has to snapshot the predictor tables
+    /// and every mode trains at identical points.
+    train_q: Vec<TraceId>,
 }
 
 impl TraceFrontEnd {
@@ -250,7 +267,7 @@ impl TraceFrontEnd {
             trace_counter: 0,
             open_len: 0,
             open_trace_no: 0,
-            last_trace_at: HashMap::new(),
+            last_trace_at: FastHashMap::default(),
             commit: CommitBuilder::default(),
             done: false,
             pcs_scratch: Vec::new(),
@@ -259,10 +276,11 @@ impl TraceFrontEnd {
             out_commits: Vec::new(),
             out_applied: Vec::new(),
             retire_budget: usize::MAX,
-            skip_counts: HashMap::new(),
+            skip_counts: FastHashMap::default(),
             stats: FrontEndStats::default(),
-            commit_histogram: HashMap::new(),
+            commit_histogram: FastHashMap::default(),
             trace: None,
+            train_q: Vec::new(),
         }
     }
 
@@ -466,7 +484,7 @@ impl TraceFrontEnd {
             return false;
         };
         let pcs = std::mem::take(&mut self.pcs_scratch);
-        if std::env::var_os("SLIP_DEBUG_FE").is_some() {
+        if debug_fe() {
             eprintln!(
                 "prep ctx={:016x} used=({:#x},{:x},bc{},l{}) pred={}",
                 self.spec_hist.context_hash(),
@@ -729,15 +747,107 @@ impl TraceFrontEnd {
                 self.spec_hist.replace_oldest(t.used, c.id);
             }
         }
-        self.predictor.update(&self.retired_hist, c.id);
-        self.retired_hist.push(c.id);
-        self.last_trace_at.insert(c.id.start_pc, c.id);
-        *self
-            .commit_histogram
-            .entry((c.id.start_pc, c.id.len))
-            .or_insert(0) += 1;
+        // Learning is deferred to the next sync boundary; see `train_q`.
+        self.train_q.push(c.id);
         if self.emit {
             self.out_commits.push(c);
         }
     }
+
+    /// Applies all deferred learning: predictor training, retired path
+    /// history, trace-cache update, and the commit histogram, in commit
+    /// order. Called at slack-window boundaries (and before recovery
+    /// repairs) by every scheduler, so serial, windowed, and threaded
+    /// execution observe byte-identical predictor state.
+    pub fn apply_training(&mut self) {
+        for id in std::mem::take(&mut self.train_q) {
+            self.predictor.update(&self.retired_hist, id);
+            self.retired_hist.push(id);
+            self.last_trace_at.insert(id.start_pc, id);
+            *self
+                .commit_histogram
+                .entry((id.start_pc, id.len))
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Snapshots the per-window mutable state for the slack-window
+    /// scheduler's checkpoint/replay. Must be taken at a sync boundary:
+    /// the learning queue and retirement output buffers are empty there,
+    /// so the (multi-megabyte) predictor tables, removal table, retired
+    /// history, and trace cache are *frozen* for the whole window and need
+    /// no copy — only the cheap speculative state is saved.
+    pub fn checkpoint(&self) -> FeCheckpoint {
+        debug_assert!(self.train_q.is_empty(), "checkpoint off-boundary");
+        debug_assert!(self.out_entries.is_empty() && self.out_commits.is_empty());
+        FeCheckpoint {
+            spec_hist: self.spec_hist.clone(),
+            ready: self.ready.clone(),
+            next_pred: self.next_pred,
+            fetch_pc: self.fetch_pc,
+            next_meta: self.next_meta,
+            metas: self.metas.clone(),
+            pending_skips: self.pending_skips.clone(),
+            inflight: self.inflight.clone(),
+            trace_counter: self.trace_counter,
+            open_len: self.open_len,
+            open_trace_no: self.open_trace_no,
+            commit: self.commit.clone(),
+            done: self.done,
+            skip_counts: self.skip_counts.clone(),
+            stats: self.stats,
+            pred_stats: self.predictor.stats(),
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Restores a boundary checkpoint, rewinding every side effect of the
+    /// partially executed window (replay then re-derives the cycles up to
+    /// the recovery point deterministically — the frozen tables guarantee
+    /// identical fetch decisions).
+    pub fn restore(&mut self, ck: &FeCheckpoint) {
+        self.spec_hist = ck.spec_hist.clone();
+        self.ready = ck.ready.clone();
+        self.next_pred = ck.next_pred;
+        self.fetch_pc = ck.fetch_pc;
+        self.next_meta = ck.next_meta;
+        self.metas = ck.metas.clone();
+        self.pending_skips = ck.pending_skips.clone();
+        self.inflight = ck.inflight.clone();
+        self.trace_counter = ck.trace_counter;
+        self.open_len = ck.open_len;
+        self.open_trace_no = ck.open_trace_no;
+        self.commit = ck.commit.clone();
+        self.done = ck.done;
+        self.skip_counts = ck.skip_counts.clone();
+        self.stats = ck.stats;
+        self.predictor.restore_stats(ck.pred_stats);
+        self.trace = ck.trace.clone();
+        self.train_q.clear();
+        self.out_entries.clear();
+        self.out_commits.clear();
+        self.out_applied.clear();
+    }
+}
+
+/// A boundary snapshot of [`TraceFrontEnd`] speculative state (see
+/// [`TraceFrontEnd::checkpoint`]).
+pub struct FeCheckpoint {
+    spec_hist: PathHistory,
+    ready: VecDeque<FetchItem>,
+    next_pred: Option<TraceId>,
+    fetch_pc: Option<u64>,
+    next_meta: u64,
+    metas: VecDeque<(u64, ItemMeta)>,
+    pending_skips: Vec<SkipRec>,
+    inflight: VecDeque<InflightTrace>,
+    trace_counter: u64,
+    open_len: u8,
+    open_trace_no: u64,
+    commit: CommitBuilder,
+    done: bool,
+    skip_counts: FastHashMap<u8, u64>,
+    stats: FrontEndStats,
+    pred_stats: TracePredictorStats,
+    trace: Option<TraceSink>,
 }

@@ -1,4 +1,10 @@
-use std::collections::HashMap;
+use slipstream_isa::FastHashMap;
+
+/// Whether `SLIP_DEBUG_IRT` was set, read once (not per confidence reset).
+fn debug_irt() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("SLIP_DEBUG_IRT").is_some())
+}
 
 use slipstream_predict::{ResettingCounter, TraceId};
 
@@ -57,7 +63,7 @@ impl RemovalInfo {
 /// the ir-vec and trace id determine them.
 #[derive(Debug, Clone)]
 pub struct IrTable {
-    entries: HashMap<u64, IrEntry>,
+    entries: FastHashMap<u64, IrEntry>,
     capacity: usize,
     threshold: u32,
 }
@@ -74,7 +80,7 @@ impl IrTable {
     /// removal only after `threshold` consecutive identical observations.
     pub fn new(capacity: usize, threshold: u32) -> IrTable {
         IrTable {
-            entries: HashMap::new(),
+            entries: FastHashMap::default(),
             capacity,
             threshold,
         }
@@ -102,7 +108,7 @@ impl IrTable {
                 e.info.reasons = info.reasons; // keep freshest reason detail
                 e.confidence.hit();
             } else {
-                if std::env::var_os("SLIP_DEBUG_IRT").is_some() {
+                if debug_irt() {
                     eprintln!(
                         "irt reset @{:#x}: id ({},{},{:x})->({},{},{:x}) vec {:08x}->{:08x}",
                         id.start_pc,

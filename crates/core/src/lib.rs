@@ -32,12 +32,12 @@ pub use fault::{
     golden_state, run_fault_experiment, run_fault_experiment_traced, FaultOutcome, FaultReport,
     FaultTarget,
 };
-pub use front_end::{FrontEndStats, TraceFrontEnd};
+pub use front_end::{FeCheckpoint, FrontEndStats, TraceFrontEnd};
 pub use ir_table::{IrTable, RemovalInfo};
 pub use recovery::{RecoveryController, RecoveryOutcome};
 pub use removal::{Category, Reason};
 pub use rstream::{IrMispKind, RStreamDriver};
-pub use slipstream::{SlipstreamProcessor, SlipstreamStats};
+pub use slipstream::{ExecMode, SlipstreamProcessor, SlipstreamStats};
 pub use trace::{
     EventKind, FlightRecording, IntervalSample, IntervalSampler, StreamId, TraceConfig, TraceEvent,
     TraceSink, NO_SEQ,

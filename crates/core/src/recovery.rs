@@ -18,7 +18,7 @@
 //! register-file copy this restores the A-stream context exactly (the
 //! integration tests assert bit-identical contexts after every recovery).
 
-use std::collections::HashMap;
+use slipstream_isa::FastHashMap;
 
 use slipstream_isa::{MemWidth, Memory, NUM_REGS};
 
@@ -27,9 +27,9 @@ use slipstream_isa::{MemWidth, Memory, NUM_REGS};
 #[derive(Debug, Default)]
 pub struct RecoveryController {
     /// (addr, width) → outstanding count: A-retired, R-companion pending.
-    undo: HashMap<(u64, MemWidth), u32>,
+    undo: FastHashMap<(u64, MemWidth), u32>,
     /// (addr, width) → outstanding count: skipped in A, unverified.
-    do_: HashMap<(u64, MemWidth), u32>,
+    do_: FastHashMap<(u64, MemWidth), u32>,
 }
 
 /// What a recovery event cost.
@@ -111,12 +111,43 @@ impl RecoveryController {
         }
     }
 
+    /// Splits [`RecoveryController::recover`] for the decoupled schedulers:
+    /// collects the tracked locations *with their R-stream values* and
+    /// clears all tracking, without touching the A-stream image. The
+    /// R-side builds this list when it detects the misprediction; the
+    /// A-side applies it (after rollback) via [`apply_repairs`]. Every
+    /// value comes from the single consistent `r_mem` snapshot, so the
+    /// HashMap iteration order is immaterial even for overlapping ranges.
+    pub fn repair_list(&mut self, r_mem: &Memory) -> Vec<(u64, MemWidth, u64)> {
+        let mut repairs: Vec<(u64, MemWidth, u64)> = self
+            .undo
+            .keys()
+            .map(|&(addr, width)| (addr, width, r_mem.load(addr, width)))
+            .collect();
+        for &(addr, width) in self.do_.keys() {
+            if !self.undo.contains_key(&(addr, width)) {
+                repairs.push((addr, width, r_mem.load(addr, width)));
+            }
+        }
+        self.undo.clear();
+        self.do_.clear();
+        repairs
+    }
+
     /// Recovery latency for this event, per the paper's recovery pipeline:
     /// `startup + NUM_REGS/restores_per_cycle + mem/restores_per_cycle`.
     pub fn latency(&self, startup: u64, per_cycle: u64) -> u64 {
         startup
             + (NUM_REGS as u64).div_ceil(per_cycle)
             + (self.tracked() as u64).div_ceil(per_cycle)
+    }
+}
+
+/// Applies a repair list produced by [`RecoveryController::repair_list`]
+/// to the A-stream memory image.
+pub fn apply_repairs(a_mem: &mut Memory, repairs: &[(u64, MemWidth, u64)]) {
+    for &(addr, width, value) in repairs {
+        a_mem.store(addr, width, value);
     }
 }
 
@@ -168,6 +199,25 @@ mod tests {
         assert_eq!(a.load_byte(0x300), 0xbb);
         assert_eq!(a.load_word(0x900), 5, "untracked locations untouched");
         assert_eq!(rc.tracked(), 0);
+    }
+
+    #[test]
+    fn repair_list_matches_direct_recover() {
+        let mut a = Memory::new();
+        let mut r = Memory::new();
+        a.store_word(0x100, 111);
+        r.store_word(0x100, 222);
+        r.store_byte(0x300, 0xbb);
+
+        let mut rc = RecoveryController::new();
+        rc.add_undo(0x100, MemWidth::Word);
+        rc.add_do(0x300, MemWidth::Byte);
+        let repairs = rc.repair_list(&r);
+        assert_eq!(repairs.len(), 2);
+        assert_eq!(rc.tracked(), 0, "repair_list clears tracking");
+        apply_repairs(&mut a, &repairs);
+        assert_eq!(a.load_word(0x100), 222);
+        assert_eq!(a.load_byte(0x300), 0xbb);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! IR-misprediction (paper §2.3). Matching operand values are used as
 //! value predictions so dependent instructions issue immediately.
 
-use std::collections::HashMap;
+use slipstream_isa::FastHashMap;
 
 use slipstream_cpu::{CoreDriver, DispatchHints, EventKind, FetchItem, TraceSink, NO_SEQ};
 use slipstream_isa::{MemWidth, Retired};
@@ -47,7 +47,7 @@ pub struct RStreamDriver {
     pub delay: DelayBuffer,
     /// The IR-detector, fed by R-stream retirement.
     pub detector: IrDetector,
-    inflight: HashMap<u64, DelayEntry>,
+    inflight: FastHashMap<u64, DelayEntry>,
     next_meta: u64,
     prev_pc: Option<u64>,
     frozen: bool,
@@ -81,7 +81,7 @@ impl RStreamDriver {
         RStreamDriver {
             delay: DelayBuffer::new(data_cap, control_cap),
             detector: IrDetector::new(policy, detector_scope),
-            inflight: HashMap::new(),
+            inflight: FastHashMap::default(),
             next_meta: 1,
             prev_pc: None,
             frozen: false,

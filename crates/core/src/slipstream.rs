@@ -3,15 +3,51 @@
 //! trailing R-stream, the IR-detector learning what to remove, and the
 //! recovery controller repairing the A-stream when removal went wrong
 //! (paper §2, Figure 1).
+//!
+//! # Decoupled execution
+//!
+//! The two cores are coupled only through the delay buffer and recovery
+//! events, and that coupling is *one-directional per cycle*: A→R traffic
+//! (delay entries, trace commits) is consumed by the R-stream strictly
+//! after the A-stream produced it, while R→A influence (back-pressure,
+//! IR-detector training, recovery) is latency-tolerant — it only has to
+//! reach the A-stream within a bounded slack. The machine is therefore
+//! split into an [`AHalf`] and an [`RHalf`] exchanging per-cycle
+//! [`CycleBatch`]es, with three interchangeable schedulers that all
+//! produce byte-identical results:
+//!
+//! - **serial** ([`SlipstreamProcessor::step`] /
+//!   [`SlipstreamProcessor::run_serial`]) — one batch at a time, cores in
+//!   lockstep; the reference semantics.
+//! - **slack-window** ([`SlipstreamProcessor::run`], the default) — the
+//!   A-stream runs `sync_quantum` cycles in a burst against a boundary
+//!   credit budget, then the R-stream consumes the whole window; recovery
+//!   rolls the A-stream back to a boundary checkpoint and deterministically
+//!   replays it to the exact recovery cycle.
+//! - **two threads** ([`SlipstreamProcessor::run_parallel`]) — the same
+//!   window protocol with the A-stream on its own thread, publishing
+//!   batches through a bounded lock-free SPSC ring and receiving one sync
+//!   report per window.
+//!
+//! Determinism rests on three invariants, enforced here and in
+//! [`TraceFrontEnd`]: (1) all learning (trace-predictor training,
+//! IR-table observations) is deferred to window boundaries, so the
+//! A-stream's fetch decisions inside a window depend only on boundary
+//! state; (2) the A-stream's retire budget is computed from
+//! boundary-snapshot delay-buffer occupancy plus its own in-window pushes
+//! — never from the live buffer the R-stream is draining; (3) recovery
+//! always restarts the window grid at the recovery cycle.
 
 use slipstream_cpu::{Core, CoreStats, FaultSpec};
-use slipstream_isa::{ArchState, Program, Retired};
+use slipstream_isa::{ArchState, MemWidth, Memory, Program, Retired, NUM_REGS};
 use slipstream_predict::{PathHistory, TraceId};
+use slipstream_spsc as spsc;
 
 use crate::config::SlipstreamConfig;
-use crate::front_end::{FrontEndStats, TraceFrontEnd};
-use crate::ir_table::IrTable;
-use crate::recovery::RecoveryController;
+use crate::delay::{DelayEntry, TraceCommit};
+use crate::front_end::{FeCheckpoint, FrontEndStats, TraceFrontEnd};
+use crate::ir_table::{IrTable, RemovalInfo};
+use crate::recovery::{apply_repairs, RecoveryController};
 use crate::removal::Reason;
 use crate::rstream::{IrMispKind, RStreamDriver};
 use crate::trace::{
@@ -23,8 +59,20 @@ use crate::trace::{
 /// wedged (a harness bug, not a program property) and we panic loudly.
 const HARNESS_WATCHDOG: u64 = 2_000_000;
 
+/// Which scheduler [`SlipstreamProcessor::run_mode`] uses. All three are
+/// byte-identical in results; they differ only in wall-clock performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Cycle-by-cycle lockstep (the reference semantics).
+    Serial,
+    /// Slack-window batching on one thread (the default).
+    Windowed,
+    /// Slack-window batching across two threads via the SPSC ring.
+    Threaded,
+}
+
 /// End-of-run summary of a slipstream execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlipstreamStats {
     /// Total cycles simulated (both cores advance in lockstep).
     pub cycles: u64,
@@ -71,14 +119,249 @@ pub struct SlipstreamStats {
     pub halted: bool,
 }
 
-/// A slipstream processor built from two identical cores.
-pub struct SlipstreamProcessor {
-    cfg: SlipstreamConfig,
-    program: Program,
-    a_core: Core,
-    r_core: Core,
-    a_fe: TraceFrontEnd,
-    r_drv: RStreamDriver,
+/// One simulated cycle's worth of A→R traffic: everything the A-stream
+/// produced at `cycle` that the R-stream consumes. In windowed/threaded
+/// modes a window's batches exist *outside* the delay buffer until the
+/// R-stream pushes them in — capacity accounting happens on the A side via
+/// the boundary credit budget, mirroring the real buffer's limits.
+#[derive(Debug, Default)]
+struct CycleBatch {
+    cycle: u64,
+    entries: Vec<DelayEntry>,
+    commits: Vec<TraceCommit>,
+    applied: Vec<(u64, TraceId)>,
+    sample: Option<ASample>,
+}
+
+/// A-side counters captured at an interval-sampler due cycle (the sampler
+/// itself lives on the R side, which may consume this cycle much later).
+#[derive(Debug, Clone, Copy)]
+struct ASample {
+    a_stats: CoreStats,
+    fe_stats: FrontEndStats,
+    skipped: u64,
+}
+
+/// What the R-stream observed while consuming one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RPhase {
+    /// Nothing notable; keep going.
+    Ok,
+    /// The program's `halt` retired.
+    Halted,
+    /// An IR-misprediction was flagged; recovery must run at this cycle.
+    /// (Takes priority over `Halted`: recovery flushes the R-core, which
+    /// clears a halt that retired on the same divergent path.)
+    Misp,
+}
+
+/// Everything the R-stream decided at a recovery, for the A-stream to
+/// apply once it has rolled back (or caught up) to `cycle`.
+struct RecoverCmd {
+    /// Detection cycle — the exact cycle the serial model would recover.
+    cycle: u64,
+    /// PC both streams restart from.
+    restart: u64,
+    /// Recovery-pipeline latency charged to both cores.
+    latency: u64,
+    /// Tracked memory locations with their R-stream values.
+    repairs: Vec<(u64, MemWidth, u64)>,
+    /// The R-stream's architectural register file.
+    r_regs: [u64; NUM_REGS],
+    /// Context keys of applied-but-unverified removals to penalize.
+    penalize: Vec<u64>,
+    /// Deferred IR-table observations from the truncated window.
+    obs: Vec<(u64, TraceId, RemovalInfo)>,
+    /// Strict mode only: the R-stream's full memory image for the
+    /// post-recovery bit-identity check.
+    strict_mem: Option<Memory>,
+}
+
+/// One sync report per window, R-thread → A-thread.
+#[allow(clippy::large_enum_variant)] // one Report per window, never stored
+enum Report {
+    /// Window completed cleanly: boundary credits + deferred observations.
+    Boundary {
+        data_occ: usize,
+        ctrl_occ: usize,
+        obs: Vec<(u64, TraceId, RemovalInfo)>,
+    },
+    /// IR-misprediction inside the window.
+    Recover(RecoverCmd),
+    /// `halt` retired inside the window at `cycle`.
+    Halted {
+        /// The halt cycle the A-stream must roll back to.
+        cycle: u64,
+    },
+    /// Budget-clamped final window: stop without a boundary sync (keeps
+    /// the window grid identical to the single-threaded schedulers).
+    Done,
+}
+
+/// The leading core and its front end: everything the A-stream touches
+/// while running a window, plus the boundary credit budget that stands in
+/// for live delay-buffer back-pressure.
+struct AHalf {
+    core: Core,
+    fe: TraceFrontEnd,
+    cycles: u64,
+    /// Delay-buffer occupancy snapshot from the last sync boundary.
+    data_occ: usize,
+    ctrl_occ: usize,
+    /// Entries pushed by this side since the boundary.
+    data_pushed: usize,
+    ctrl_pushed: usize,
+    data_cap: usize,
+    ctrl_cap: usize,
+    /// Interval-sampler period (0 = off), mirrored from the R side so
+    /// A-side counters are captured at exactly the due cycles.
+    sample_interval: u64,
+    retired_buf: Vec<Retired>,
+}
+
+/// A boundary snapshot of the A side, for rollback-and-replay recovery.
+struct ACheckpoint {
+    core: Core,
+    fe: FeCheckpoint,
+    cycles: u64,
+    data_occ: usize,
+    ctrl_occ: usize,
+    data_pushed: usize,
+    ctrl_pushed: usize,
+}
+
+impl AHalf {
+    /// Runs one A-stream cycle into `batch`.
+    fn run_cycle(&mut self, batch: &mut CycleBatch) {
+        self.cycles += 1;
+        batch.cycle = self.cycles;
+        batch.entries.clear();
+        batch.commits.clear();
+        batch.applied.clear();
+        batch.sample = None;
+
+        // The front end has no clock of its own; stamp its sink here (the
+        // core stamps its own sink inside `cycle`).
+        if let Some(t) = self.fe.trace.as_mut() {
+            t.set_cycle(self.cycles);
+        }
+
+        // Delay-buffer back-pressure gates A-stream retirement. The budget
+        // is conservative against the *boundary* occupancy: the R-stream
+        // may already have drained entries this window, but never below
+        // what the boundary snapshot plus our own pushes guarantee.
+        self.fe.retire_budget = if self.ctrl_occ + self.ctrl_pushed >= self.ctrl_cap {
+            0
+        } else {
+            self.data_cap
+                .saturating_sub(self.data_occ + self.data_pushed)
+        };
+        let mut retired = std::mem::take(&mut self.retired_buf);
+        self.core.cycle(&mut self.fe, &mut retired);
+        self.retired_buf = retired;
+
+        for e in self.fe.out_entries.drain(..) {
+            if !e.skipped {
+                self.data_pushed += 1;
+            }
+            if e.ends_trace {
+                self.ctrl_pushed += 1;
+            }
+            batch.entries.push(e);
+        }
+        batch.applied.append(&mut self.fe.out_applied);
+        batch.commits.append(&mut self.fe.out_commits);
+
+        if self.sample_interval != 0 && self.cycles.is_multiple_of(self.sample_interval) {
+            batch.sample = Some(ASample {
+                a_stats: *self.core.stats(),
+                fe_stats: self.fe.stats,
+                skipped: self.fe.skip_counts.values().sum(),
+            });
+        }
+    }
+
+    /// Boundary checkpoint (must be taken at a sync boundary — the front
+    /// end asserts its deferred queues are empty).
+    fn checkpoint(&self) -> ACheckpoint {
+        ACheckpoint {
+            core: self.core.clone(),
+            fe: self.fe.checkpoint(),
+            cycles: self.cycles,
+            data_occ: self.data_occ,
+            ctrl_occ: self.ctrl_occ,
+            data_pushed: self.data_pushed,
+            ctrl_pushed: self.ctrl_pushed,
+        }
+    }
+
+    /// Restores `ck` and deterministically re-runs to `target` (inclusive),
+    /// discarding the regenerated batches — the R-stream already consumed
+    /// the prefix. Replay reproduces the original cycles exactly: fetch
+    /// decisions depend only on boundary state (learning is deferred), the
+    /// credit budget is part of the checkpoint, and an armed fault refires
+    /// at the same sequence number.
+    fn rollback_replay(&mut self, ck: &ACheckpoint, target: u64, scratch: &mut CycleBatch) {
+        self.core = ck.core.clone();
+        self.fe.restore(&ck.fe);
+        self.cycles = ck.cycles;
+        self.data_occ = ck.data_occ;
+        self.ctrl_occ = ck.ctrl_occ;
+        self.data_pushed = ck.data_pushed;
+        self.ctrl_pushed = ck.ctrl_pushed;
+        while self.cycles < target {
+            self.run_cycle(scratch);
+        }
+    }
+
+    /// Applies a recovery decided by the R side. The A side must already
+    /// be at exactly `cmd.cycle` (serial lockstep, or rolled back and
+    /// replayed there).
+    fn apply_recover(&mut self, cmd: &RecoverCmd) {
+        debug_assert_eq!(self.cycles, cmd.cycle, "A must sit at the recovery cycle");
+        // Recovery is a sync boundary: flush deferred learning first, in
+        // the same train-then-observe order as a normal boundary.
+        self.fe.apply_training();
+        for &(key, id, info) in &cmd.obs {
+            self.fe.ir_table.observe(key, id, info);
+        }
+        apply_repairs(self.core.mem_mut(), &cmd.repairs);
+        self.core.flush();
+        self.core.set_regs(&cmd.r_regs);
+        self.fe.reset_to(cmd.restart);
+        for &key in &cmd.penalize {
+            self.fe.ir_table.penalize(key);
+        }
+        let resume = self.core.now() + cmd.latency;
+        self.core.stall_fetch_until(resume);
+        // The delay buffer was cleared on the R side; restart with a full
+        // credit budget.
+        self.data_occ = 0;
+        self.ctrl_occ = 0;
+        self.data_pushed = 0;
+        self.ctrl_pushed = 0;
+
+        if let Some(want_mem) = &cmd.strict_mem {
+            assert_eq!(self.core.arch_regs(), &cmd.r_regs);
+            if let Some(addr) = self.core.mem().first_difference(want_mem) {
+                panic!(
+                    "post-recovery divergence: A and R memories differ at {addr:#x} \
+                     (A={:#x}, R={:#x})",
+                    self.core.mem().load_word(addr & !7),
+                    want_mem.load_word(addr & !7),
+                );
+            }
+        }
+    }
+}
+
+/// The trailing core, its driver, and everything downstream of it: the
+/// recovery controller, the online checker, the misprediction log, and the
+/// machine-level flight recorder (all of which observe committed —
+/// R-retired — state only, so they never roll back).
+struct RHalf {
+    core: Core,
+    drv: RStreamDriver,
     recovery: RecoveryController,
     /// Path history mirrored on the verification side, so IR-detector
     /// outputs are filed under the same context keys the A-stream uses for
@@ -92,19 +375,23 @@ pub struct SlipstreamProcessor {
     mem_restored_sum: u64,
     last_r_progress: u64,
     strict: bool,
-    /// Reused per-cycle retirement buffers (the step loop never allocates).
-    a_retired: Vec<Retired>,
-    r_retired: Vec<Retired>,
+    retired_buf: Vec<Retired>,
     /// Online functional checker (paper §4): a functional simulator
     /// stepped in lockstep with R-stream retirement; any divergence is a
     /// simulator bug and panics immediately.
     online_check: Option<ArchState>,
     /// Log of detected IR-mispredictions (kind, cycle) — used by the fault
     /// experiments to classify outcomes.
-    pub misp_log: Vec<(IrMispKind, u64)>,
+    misp_log: Vec<(IrMispKind, u64)>,
     /// Machine-level flight recorder + interval sampler (`None` = tracing
     /// disabled, which also leaves every component sink uninstalled).
     machine_trace: Option<MachineTrace>,
+    /// IR-detector observations deferred to the next sync boundary (the
+    /// IR-table lives on the A side; shipping observations at boundaries
+    /// keeps every scheduler's table updates at identical points).
+    obs_q: Vec<(u64, TraceId, RemovalInfo)>,
+    recovery_startup: u64,
+    restores_per_cycle: u64,
 }
 
 /// Machine-level observability state, present only while tracing.
@@ -112,6 +399,298 @@ struct MachineTrace {
     /// Sink for cross-stream events (delay traffic, IR-misps, recovery).
     sink: TraceSink,
     sampler: IntervalSampler,
+}
+
+/// Panics naming the first divergent field between a timing-model
+/// retirement and the online functional checker's expectation.
+fn assert_matches_checker(rec: &Retired, want: &Retired) {
+    let divergent = if rec.pc != want.pc {
+        Some("pc")
+    } else if rec.dest != want.dest {
+        Some("dest")
+    } else if rec.mem != want.mem {
+        Some("mem")
+    } else if rec.taken != want.taken {
+        Some("taken")
+    } else if rec.next_pc != want.next_pc {
+        Some("next_pc")
+    } else {
+        None
+    };
+    if let Some(field) = divergent {
+        panic!(
+            "R-stream diverged from the online functional checker at seq {} \
+             (simulator bug): `{field}` differs — timing model retired {rec:?}, \
+             checker expected {want:?}",
+            want.seq,
+        );
+    }
+}
+
+impl RHalf {
+    /// Consumes one A-stream cycle batch: routes delay traffic, advances
+    /// the R-core, checks, and trains the detector.
+    fn consume_cycle(&mut self, batch: &CycleBatch, program: &Program) -> RPhase {
+        self.cycles = batch.cycle;
+        if let Some(mt) = self.machine_trace.as_mut() {
+            mt.sink.set_cycle(self.cycles);
+        }
+        if let Some(t) = self.drv.trace.as_mut() {
+            t.set_cycle(self.cycles);
+        }
+
+        // Route the A-stream's retirement output into the delay buffer and
+        // the recovery controller.
+        for &e in &batch.entries {
+            if !e.skipped && e.instr.is_store() {
+                if let (Some(addr), Some(w)) = (e.addr, e.instr.mem_width()) {
+                    self.recovery.add_undo(addr, w);
+                }
+            }
+            if let Some(mt) = self.machine_trace.as_mut() {
+                mt.sink
+                    .record(EventKind::DelayEnqueue, NO_SEQ, e.pc, e.skipped as u64);
+            }
+            self.drv.delay.push(e);
+        }
+        self.applied_pending.extend_from_slice(&batch.applied);
+        for &c in &batch.commits {
+            self.drv.delay.push_commit(c);
+        }
+
+        // Advance the R-stream.
+        if !self.core.halted() {
+            let mut retired = std::mem::take(&mut self.retired_buf);
+            self.core.cycle(&mut self.drv, &mut retired);
+            if let Some(checker) = &mut self.online_check {
+                for rec in &retired {
+                    let want = checker
+                        .step(program)
+                        .expect("online checker follows a valid program");
+                    assert_matches_checker(rec, &want);
+                }
+            }
+            if let Some(last) = retired.last() {
+                self.last_r_retired = Some(*last);
+                self.last_r_progress = self.cycles;
+            }
+            self.retired_buf = retired;
+        }
+
+        // Route R-stream store events to the recovery controller.
+        for (a, w) in self.drv.out_undo_remove.drain(..) {
+            self.recovery.remove_undo(a, w);
+        }
+        for (a, w) in self.drv.out_do_add.drain(..) {
+            self.recovery.add_do(a, w);
+        }
+
+        // IR-detector outputs: verify the A-stream's applied removals now;
+        // queue the IR-table training for the next sync boundary.
+        for out in self.drv.detector.drain() {
+            if let Some(c) = self.drv.delay.pop_commit() {
+                if c.used_vec & !out.info.ir_vec != 0 {
+                    // The A-stream removed something the detector says was
+                    // effectual: early IR-misprediction detection.
+                    self.drv.flag(IrMispKind::VecMismatch {
+                        trace_start: out.id.start_pc,
+                    });
+                } else {
+                    for &(slot, addr, w) in &out.stores {
+                        if (c.used_vec >> slot) & 1 == 1 {
+                            self.recovery.remove_do(addr, w);
+                        }
+                    }
+                    if c.used_vec != 0 {
+                        if let Some(pos) =
+                            self.applied_pending.iter().position(|(_, id)| *id == c.id)
+                        {
+                            self.applied_pending.remove(pos);
+                        }
+                    }
+                }
+            }
+            let key = self.observe_hist.context_hash();
+            self.obs_q.push((key, out.id, out.info));
+            self.observe_hist.push(out.id);
+        }
+        if self.applied_pending.len() > 4096 {
+            // Leaked entries from truncated reduced traces; the list is
+            // only a recovery-time penalty hint, so trimming is safe.
+            self.applied_pending.drain(..2048);
+        }
+
+        if let Some(mt) = self.machine_trace.as_mut() {
+            if mt.sampler.due(self.cycles) {
+                let s = batch
+                    .sample
+                    .as_ref()
+                    .expect("A side samples at the same due cycles");
+                mt.sampler.sample(
+                    self.cycles,
+                    &s.a_stats,
+                    self.core.stats(),
+                    &s.fe_stats,
+                    s.skipped,
+                    self.ir_misps,
+                    self.drv.value_hints,
+                    self.drv.delay.len() as u64,
+                );
+            }
+        }
+
+        assert!(
+            self.cycles - self.last_r_progress < HARNESS_WATCHDOG,
+            "slipstream wedged: no R-stream retirement since cycle {} (now {}; \
+             delay buffer {} entries, last retired pc {:?})",
+            self.last_r_progress,
+            self.cycles,
+            self.drv.delay.len(),
+            self.last_r_retired.map(|r| r.pc),
+        );
+
+        if self.drv.ir_misp.is_some() {
+            RPhase::Misp
+        } else if self.core.halted() {
+            RPhase::Halted
+        } else {
+            RPhase::Ok
+        }
+    }
+
+    /// IR-misprediction recovery (paper §2.3), R-stream half: log it,
+    /// compute the repair list and latency, flush/restart this core, and
+    /// package everything the A side must apply at the same cycle.
+    fn build_recover(&mut self, program: &Program) -> RecoverCmd {
+        let kind = self.drv.ir_misp.expect("called only when flagged");
+        self.misp_log.push((kind, self.cycles));
+        let restart = self
+            .last_r_retired
+            .map(|r| r.next_pc)
+            .unwrap_or_else(|| program.entry());
+
+        // Latency depends on the tracked-location count, so compute it
+        // before `repair_list` clears the tracking sets.
+        let latency = self
+            .recovery
+            .latency(self.recovery_startup, self.restores_per_cycle);
+        if let Some(mt) = self.machine_trace.as_mut() {
+            let (code, pc) = trace::misp_code(kind);
+            mt.sink.record(EventKind::IrMispredict, NO_SEQ, pc, code);
+            mt.sink
+                .record(EventKind::Recovery, NO_SEQ, restart, latency);
+        }
+        let repairs = self.recovery.repair_list(self.core.mem());
+        let r_regs = *self.core.arch_regs();
+        self.core.flush();
+        let penalize: Vec<u64> = self.applied_pending.drain(..).map(|(key, _)| key).collect();
+        self.drv.reset_for_recovery();
+        let r_resume = self.core.now() + latency;
+        self.core.stall_fetch_until(r_resume);
+
+        self.ir_misps += 1;
+        self.penalty_sum += latency;
+        self.mem_restored_sum += repairs.len() as u64;
+
+        RecoverCmd {
+            cycle: self.cycles,
+            restart,
+            latency,
+            repairs,
+            r_regs,
+            penalize,
+            obs: std::mem::take(&mut self.obs_q),
+            strict_mem: self.strict.then(|| self.core.mem().clone()),
+        }
+    }
+}
+
+/// The sync-boundary handshake, single-threaded form: flush deferred
+/// learning into the A side's predictor/IR-table and refresh its credit
+/// budget from live delay-buffer occupancy.
+fn boundary_sync(a: &mut AHalf, r: &mut RHalf) {
+    a.fe.apply_training();
+    for (key, id, info) in r.obs_q.drain(..) {
+        a.fe.ir_table.observe(key, id, info);
+    }
+    a.data_occ = r.drv.delay.data_occupancy();
+    a.ctrl_occ = r.drv.delay.control_occupancy();
+    a.data_pushed = 0;
+    a.ctrl_pushed = 0;
+}
+
+/// The A-stream's thread body in [`SlipstreamProcessor::run_parallel`]:
+/// produce each window into the SPSC ring, then block for the R-thread's
+/// one-per-window report. Both sides compute the window grid from the same
+/// `(anchor, quantum, max_cycles)`, so no further coordination is needed.
+fn a_stream_thread(
+    a: &mut AHalf,
+    mut anchor: u64,
+    quantum: u64,
+    max_cycles: u64,
+    mut out: spsc::Producer<CycleBatch>,
+    reports: std::sync::mpsc::Receiver<Report>,
+    recycle: std::sync::mpsc::Receiver<CycleBatch>,
+) {
+    let mut scratch = CycleBatch::default();
+    while anchor < max_cycles {
+        let window_end = (anchor + quantum).min(max_cycles);
+        debug_assert_eq!(a.cycles, anchor, "windows start at the anchor");
+        let ck = a.checkpoint();
+        for _ in anchor..window_end {
+            let mut batch = recycle.try_recv().unwrap_or_default();
+            a.run_cycle(&mut batch);
+            if out.push(batch).is_err() {
+                return; // R side exited (panic propagates via scope join)
+            }
+        }
+        let Ok(report) = reports.recv() else {
+            return;
+        };
+        match report {
+            Report::Boundary {
+                data_occ,
+                ctrl_occ,
+                obs,
+            } => {
+                a.fe.apply_training();
+                for (key, id, info) in obs {
+                    a.fe.ir_table.observe(key, id, info);
+                }
+                a.data_occ = data_occ;
+                a.ctrl_occ = ctrl_occ;
+                a.data_pushed = 0;
+                a.ctrl_pushed = 0;
+                anchor = window_end;
+            }
+            Report::Recover(cmd) => {
+                let cycle = cmd.cycle;
+                a.rollback_replay(&ck, cycle, &mut scratch);
+                a.apply_recover(&cmd);
+                anchor = cycle;
+            }
+            Report::Halted { cycle } => {
+                a.rollback_replay(&ck, cycle, &mut scratch);
+                return;
+            }
+            Report::Done => return,
+        }
+    }
+}
+
+/// A slipstream processor built from two identical cores.
+pub struct SlipstreamProcessor {
+    cfg: SlipstreamConfig,
+    program: Program,
+    a: AHalf,
+    r: RHalf,
+    /// Cycle of the last sync boundary; the window grid is
+    /// `anchor + k*quantum`, restarted at every recovery.
+    anchor: u64,
+    /// Reused single-cycle batch (serial stepping and replay).
+    scratch: CycleBatch,
+    /// Reused window batches (windowed scheduler).
+    batches: Vec<CycleBatch>,
 }
 
 impl SlipstreamProcessor {
@@ -132,26 +711,44 @@ impl SlipstreamProcessor {
         let a_image = program.initial_memory();
         let r_image = a_image.clone();
         SlipstreamProcessor {
-            a_core: Core::new(cfg.core.clone(), a_image),
-            r_core: Core::new(cfg.core.clone(), r_image),
+            a: AHalf {
+                core: Core::new(cfg.core.clone(), a_image),
+                fe: a_fe,
+                cycles: 0,
+                data_occ: 0,
+                ctrl_occ: 0,
+                data_pushed: 0,
+                ctrl_pushed: 0,
+                data_cap: cfg.delay_data_entries,
+                ctrl_cap: cfg.delay_control_entries,
+                sample_interval: 0,
+                retired_buf: Vec::new(),
+            },
+            r: RHalf {
+                core: Core::new(cfg.core.clone(), r_image),
+                drv: r_drv,
+                recovery: RecoveryController::new(),
+                observe_hist: PathHistory::new(cfg.trace_pred.path_len),
+                applied_pending: Vec::new(),
+                last_r_retired: None,
+                cycles: 0,
+                ir_misps: 0,
+                penalty_sum: 0,
+                mem_restored_sum: 0,
+                last_r_progress: 0,
+                strict: false,
+                retired_buf: Vec::new(),
+                online_check: None,
+                misp_log: Vec::new(),
+                machine_trace: None,
+                obs_q: Vec::new(),
+                recovery_startup: cfg.recovery_startup,
+                restores_per_cycle: cfg.restores_per_cycle,
+            },
             program: program.clone(),
-            a_fe,
-            r_drv,
-            recovery: RecoveryController::new(),
-            observe_hist: PathHistory::new(cfg.trace_pred.path_len),
-            applied_pending: Vec::new(),
-            last_r_retired: None,
-            cycles: 0,
-            ir_misps: 0,
-            penalty_sum: 0,
-            mem_restored_sum: 0,
-            last_r_progress: 0,
-            strict: false,
-            a_retired: Vec::new(),
-            r_retired: Vec::new(),
-            online_check: None,
-            misp_log: Vec::new(),
-            machine_trace: None,
+            anchor: 0,
+            scratch: CycleBatch::default(),
+            batches: Vec::new(),
             cfg,
         }
     }
@@ -168,11 +765,12 @@ impl SlipstreamProcessor {
             }
             t
         };
-        self.a_core.set_trace(Some(mk(StreamId::AStream)));
-        self.r_core.set_trace(Some(mk(StreamId::RStream)));
-        self.a_fe.trace = Some(mk(StreamId::AStream));
-        self.r_drv.trace = Some(mk(StreamId::RStream));
-        self.machine_trace = Some(MachineTrace {
+        self.a.core.set_trace(Some(mk(StreamId::AStream)));
+        self.r.core.set_trace(Some(mk(StreamId::RStream)));
+        self.a.fe.trace = Some(mk(StreamId::AStream));
+        self.r.drv.trace = Some(mk(StreamId::RStream));
+        self.a.sample_interval = cfg.metrics_interval;
+        self.r.machine_trace = Some(MachineTrace {
             sink: mk(StreamId::Machine),
             sampler: IntervalSampler::new(cfg.metrics_interval),
         });
@@ -180,26 +778,26 @@ impl SlipstreamProcessor {
 
     /// Whether [`SlipstreamProcessor::enable_tracing`] has been called.
     pub fn tracing_enabled(&self) -> bool {
-        self.machine_trace.is_some()
+        self.r.machine_trace.is_some()
     }
 
     /// Freezes every installed sink after `cycle` (see
     /// [`TraceSink::freeze_after`]) — used by traced fault experiments to
     /// keep the window around a detection instead of the end of the run.
     pub fn freeze_trace_after(&mut self, cycle: u64) {
-        if let Some(t) = self.a_core.trace_mut() {
+        if let Some(t) = self.a.core.trace_mut() {
             t.freeze_after(cycle);
         }
-        if let Some(t) = self.r_core.trace_mut() {
+        if let Some(t) = self.r.core.trace_mut() {
             t.freeze_after(cycle);
         }
-        if let Some(t) = self.a_fe.trace.as_mut() {
+        if let Some(t) = self.a.fe.trace.as_mut() {
             t.freeze_after(cycle);
         }
-        if let Some(t) = self.r_drv.trace.as_mut() {
+        if let Some(t) = self.r.drv.trace.as_mut() {
             t.freeze_after(cycle);
         }
-        if let Some(mt) = self.machine_trace.as_mut() {
+        if let Some(mt) = self.r.machine_trace.as_mut() {
             mt.sink.freeze_after(cycle);
         }
     }
@@ -208,11 +806,11 @@ impl SlipstreamProcessor {
         // Fixed merge order = deterministic tie-breaking within a cycle:
         // A core, A front end, machine, R core, R driver.
         [
-            self.a_core.trace(),
-            self.a_fe.trace.as_ref(),
-            self.machine_trace.as_ref().map(|mt| &mt.sink),
-            self.r_core.trace(),
-            self.r_drv.trace.as_ref(),
+            self.a.core.trace(),
+            self.a.fe.trace.as_ref(),
+            self.r.machine_trace.as_ref().map(|mt| &mt.sink),
+            self.r.core.trace(),
+            self.r.drv.trace.as_ref(),
         ]
         .into_iter()
         .flatten()
@@ -221,7 +819,8 @@ impl SlipstreamProcessor {
     /// The interval-metrics time-series (empty unless tracing with a
     /// nonzero `metrics_interval`).
     pub fn interval_samples(&self) -> &[IntervalSample] {
-        self.machine_trace
+        self.r
+            .machine_trace
             .as_ref()
             .map(|mt| mt.sampler.samples.as_slice())
             .unwrap_or(&[])
@@ -230,7 +829,7 @@ impl SlipstreamProcessor {
     /// The merged, export-ready view of the traced run (`None` when
     /// tracing was never enabled).
     pub fn flight_recording(&self) -> Option<FlightRecording> {
-        self.machine_trace.as_ref()?;
+        self.r.machine_trace.as_ref()?;
         Some(FlightRecording {
             events: trace::merge_events(self.sinks()),
             samples: self.interval_samples().to_vec(),
@@ -242,7 +841,7 @@ impl SlipstreamProcessor {
     /// recovery the A-stream context must be bit-identical to the
     /// R-stream context (registers *and* full memory image).
     pub fn set_strict(&mut self, strict: bool) {
-        self.strict = strict;
+        self.r.strict = strict;
     }
 
     /// Runs a functional simulator in lockstep with R-stream retirement,
@@ -251,264 +850,289 @@ impl SlipstreamProcessor {
     /// independently and in parallel with the detailed timing simulator").
     /// Roughly doubles simulation cost; intended for tests and debugging.
     pub fn enable_online_check(&mut self) {
-        self.online_check = Some(ArchState::new(&self.program));
+        self.r.online_check = Some(ArchState::new(&self.program));
     }
 
     /// The trailing (architecturally correct) core.
     pub fn r_core(&self) -> &Core {
-        &self.r_core
+        &self.r.core
     }
 
     /// The leading (reduced, speculative) core.
     pub fn a_core(&self) -> &Core {
-        &self.a_core
+        &self.a.core
     }
 
     /// Whether the program has completed (R-stream retired `halt`).
     pub fn halted(&self) -> bool {
-        self.r_core.halted()
+        self.r.core.halted()
     }
 
-    /// Cycles simulated so far.
+    /// Cycles simulated so far (committed, i.e. R-stream, time).
     pub fn cycles(&self) -> u64 {
-        self.cycles
+        self.r.cycles
+    }
+
+    /// Log of detected IR-mispredictions `(kind, cycle)`, in detection
+    /// order — fault experiments diff this against a clean run's log to
+    /// attribute detections.
+    pub fn misp_log(&self) -> &[(IrMispKind, u64)] {
+        &self.r.misp_log
     }
 
     /// Arms a transient fault in the A-stream core (see [`FaultSpec`]).
     pub fn arm_fault_a(&mut self, fault: FaultSpec) {
-        self.a_core.arm_fault(fault);
+        self.a.core.arm_fault(fault);
     }
 
     /// Arms a transient fault in the R-stream core.
     pub fn arm_fault_r(&mut self, fault: FaultSpec) {
-        self.r_core.arm_fault(fault);
+        self.r.core.arm_fault(fault);
+    }
+
+    /// The sync quantum (window length) in cycles, never zero.
+    fn quantum(&self) -> u64 {
+        (self.cfg.sync_quantum.max(1)) as u64
+    }
+
+    /// Performs the boundary sync if the current cycle sits on the window
+    /// grid (`anchor`, or `quantum`+ cycles past it).
+    fn maybe_boundary(&mut self) {
+        if self.a.cycles == self.anchor || self.a.cycles - self.anchor >= self.quantum() {
+            self.anchor = self.a.cycles;
+            boundary_sync(&mut self.a, &mut self.r);
+        }
+    }
+
+    /// Advances both halves one cycle in lockstep, recovering immediately
+    /// on an IR-misprediction (the A side is already at the detection
+    /// cycle, so no rollback is needed).
+    fn one_cycle(&mut self) {
+        let mut batch = std::mem::take(&mut self.scratch);
+        self.a.run_cycle(&mut batch);
+        let phase = self.r.consume_cycle(&batch, &self.program);
+        self.scratch = batch;
+        if phase == RPhase::Misp {
+            let cmd = self.r.build_recover(&self.program);
+            self.a.apply_recover(&cmd);
+            self.anchor = cmd.cycle;
+        }
     }
 
     /// Advances both cores one cycle and routes all inter-stream traffic.
     pub fn step(&mut self) {
-        self.cycles += 1;
-
-        // The front ends and the machine sink have no clock of their own;
-        // stamp them here (the cores stamp their sinks inside `cycle`).
-        if self.machine_trace.is_some() {
-            if let Some(t) = self.a_fe.trace.as_mut() {
-                t.set_cycle(self.cycles);
-            }
-            if let Some(t) = self.r_drv.trace.as_mut() {
-                t.set_cycle(self.cycles);
-            }
-            if let Some(mt) = self.machine_trace.as_mut() {
-                mt.sink.set_cycle(self.cycles);
-            }
-        }
-
-        // Delay-buffer back-pressure gates A-stream retirement.
-        self.a_fe.retire_budget = if self.r_drv.delay.control_full() {
-            0
-        } else {
-            self.r_drv.delay.free_data()
-        };
-        let mut a_retired = std::mem::take(&mut self.a_retired);
-        self.a_core.cycle(&mut self.a_fe, &mut a_retired);
-        self.a_retired = a_retired;
-
-        // Route the A-stream's retirement output into the delay buffer and
-        // the recovery controller.
-        for e in self.a_fe.out_entries.drain(..) {
-            if !e.skipped && e.instr.is_store() {
-                if let (Some(addr), Some(w)) = (e.addr, e.instr.mem_width()) {
-                    self.recovery.add_undo(addr, w);
-                }
-            }
-            if let Some(mt) = self.machine_trace.as_mut() {
-                mt.sink
-                    .record(EventKind::DelayEnqueue, NO_SEQ, e.pc, e.skipped as u64);
-            }
-            self.r_drv.delay.push(e);
-        }
-        self.applied_pending.append(&mut self.a_fe.out_applied);
-        for c in self.a_fe.out_commits.drain(..) {
-            self.r_drv.delay.push_commit(c);
-        }
-
-        // Advance the R-stream.
-        if !self.r_core.halted() {
-            let mut retired = std::mem::take(&mut self.r_retired);
-            self.r_core.cycle(&mut self.r_drv, &mut retired);
-            if let Some(checker) = &mut self.online_check {
-                for rec in &retired {
-                    let want = checker
-                        .step(&self.program)
-                        .expect("online checker follows a valid program");
-                    assert_eq!(
-                        (rec.pc, rec.dest, rec.mem, rec.taken, rec.next_pc),
-                        (want.pc, want.dest, want.mem, want.taken, want.next_pc),
-                        "R-stream diverged from the online functional checker at                          seq {} (simulator bug)",
-                        want.seq,
-                    );
-                }
-            }
-            if let Some(last) = retired.last() {
-                self.last_r_retired = Some(*last);
-                self.last_r_progress = self.cycles;
-            }
-            self.r_retired = retired;
-        }
-
-        // Route R-stream store events to the recovery controller.
-        for (a, w) in self.r_drv.out_undo_remove.drain(..) {
-            self.recovery.remove_undo(a, w);
-        }
-        for (a, w) in self.r_drv.out_do_add.drain(..) {
-            self.recovery.add_do(a, w);
-        }
-
-        // IR-detector outputs: verify the A-stream's applied removals and
-        // train the IR-predictor.
-        for out in self.r_drv.detector.drain() {
-            if let Some(c) = self.r_drv.delay.pop_commit() {
-                if c.used_vec & !out.info.ir_vec != 0 {
-                    // The A-stream removed something the detector says was
-                    // effectual: early IR-misprediction detection.
-                    self.r_drv.flag(IrMispKind::VecMismatch {
-                        trace_start: out.id.start_pc,
-                    });
-                } else {
-                    for &(slot, addr, w) in &out.stores {
-                        if (c.used_vec >> slot) & 1 == 1 {
-                            self.recovery.remove_do(addr, w);
-                        }
-                    }
-                    if c.used_vec != 0 {
-                        if let Some(pos) =
-                            self.applied_pending.iter().position(|(_, id)| *id == c.id)
-                        {
-                            self.applied_pending.remove(pos);
-                        }
-                    }
-                }
-            }
-            let key = self.observe_hist.context_hash();
-            self.a_fe.ir_table.observe(key, out.id, out.info);
-            self.observe_hist.push(out.id);
-        }
-        if self.applied_pending.len() > 4096 {
-            // Leaked entries from truncated reduced traces; the list is
-            // only a recovery-time penalty hint, so trimming is safe.
-            self.applied_pending.drain(..2048);
-        }
-
-        if self.r_drv.ir_misp.is_some() {
-            self.recover();
-        }
-
-        if let Some(mt) = self.machine_trace.as_mut() {
-            if mt.sampler.due(self.cycles) {
-                let skipped: u64 = self.a_fe.skip_counts.values().sum();
-                mt.sampler.sample(
-                    self.cycles,
-                    self.a_core.stats(),
-                    self.r_core.stats(),
-                    &self.a_fe.stats,
-                    skipped,
-                    self.ir_misps,
-                    self.r_drv.value_hints,
-                    self.r_drv.delay.len() as u64,
-                );
-            }
-        }
-
-        assert!(
-            self.cycles - self.last_r_progress < HARNESS_WATCHDOG,
-            "slipstream wedged: no R-stream retirement since cycle {} (now {}; \
-             delay buffer {} entries, A halted {}, A pc-state {:?})",
-            self.last_r_progress,
-            self.cycles,
-            self.r_drv.delay.len(),
-            self.a_core.halted(),
-            self.last_r_retired.map(|r| r.pc),
-        );
+        self.maybe_boundary();
+        self.one_cycle();
     }
 
-    /// IR-misprediction recovery (paper §2.3): flush both pipelines,
-    /// repair the A-stream context from the R-stream context, restart both
-    /// streams at the R-stream's precise point, and charge the recovery
-    /// pipeline latency.
-    fn recover(&mut self) {
-        let kind = self.r_drv.ir_misp.expect("called only when flagged");
-        self.misp_log.push((kind, self.cycles));
-        let restart = self
-            .last_r_retired
-            .map(|r| r.next_pc)
-            .unwrap_or_else(|| self.program.entry());
-
-        let latency = self
-            .recovery
-            .latency(self.cfg.recovery_startup, self.cfg.restores_per_cycle);
-        if let Some(mt) = self.machine_trace.as_mut() {
-            let (code, pc) = trace::misp_code(kind);
-            mt.sink.record(EventKind::IrMispredict, NO_SEQ, pc, code);
-            mt.sink
-                .record(EventKind::Recovery, NO_SEQ, restart, latency);
-        }
-        let outcome = self
-            .recovery
-            .recover(self.a_core.mem_mut(), self.r_core.mem());
-
-        self.a_core.flush();
-        let r_regs = *self.r_core.arch_regs();
-        self.a_core.set_regs(&r_regs);
-        self.r_core.flush();
-
-        self.a_fe.reset_to(restart);
-        for (key, _) in self.applied_pending.drain(..) {
-            self.a_fe.ir_table.penalize(key);
-        }
-        self.r_drv.reset_for_recovery();
-
-        let a_resume = self.a_core.now() + latency;
-        self.a_core.stall_fetch_until(a_resume);
-        let r_resume = self.r_core.now() + latency;
-        self.r_core.stall_fetch_until(r_resume);
-
-        self.ir_misps += 1;
-        self.penalty_sum += latency;
-        self.mem_restored_sum += outcome.mem_restored;
-
-        if self.strict {
-            assert_eq!(self.a_core.arch_regs(), self.r_core.arch_regs());
-            if let Some(addr) = self.a_core.mem().first_difference(self.r_core.mem()) {
-                panic!(
-                    "post-recovery divergence: A and R memories differ at {addr:#x} \
-                     (A={:#x}, R={:#x})",
-                    self.a_core.mem().load_word(addr & !7),
-                    self.r_core.mem().load_word(addr & !7),
-                );
-            }
-        }
-    }
-
-    /// Runs until the program halts or `max_cycles` elapse. Returns `true`
-    /// if the program completed.
-    pub fn run(&mut self, max_cycles: u64) -> bool {
-        while !self.halted() && self.cycles < max_cycles {
-            self.step();
+    /// A completed run ends on a boundary: flush the deferred learning so
+    /// post-run inspection (commit histogram, predictor state) sees every
+    /// committed trace, identically in every mode.
+    fn finish_run(&mut self) -> bool {
+        if self.halted() {
+            self.anchor = self.a.cycles;
+            boundary_sync(&mut self.a, &mut self.r);
         }
         self.halted()
     }
 
+    /// Runs until the program halts or `max_cycles` elapse, using the
+    /// default slack-window scheduler. Returns `true` if the program
+    /// completed.
+    pub fn run(&mut self, max_cycles: u64) -> bool {
+        self.run_windowed(max_cycles)
+    }
+
+    /// Runs with the named scheduler (see [`ExecMode`]).
+    pub fn run_mode(&mut self, mode: ExecMode, max_cycles: u64) -> bool {
+        match mode {
+            ExecMode::Serial => self.run_serial(max_cycles),
+            ExecMode::Windowed => self.run_windowed(max_cycles),
+            ExecMode::Threaded => self.run_parallel(max_cycles),
+        }
+    }
+
+    /// Cycle-by-cycle lockstep run (the reference scheduler).
+    pub fn run_serial(&mut self, max_cycles: u64) -> bool {
+        while !self.halted() && self.r.cycles < max_cycles {
+            self.step();
+        }
+        self.finish_run()
+    }
+
+    /// Slack-window run: the A-stream bursts a whole window against its
+    /// boundary credit budget, then the R-stream consumes it. On
+    /// IR-misprediction the A side rolls back to the window's checkpoint
+    /// and replays to the exact detection cycle before recovering —
+    /// byte-identical to the serial scheduler, but with all the cross-core
+    /// ping-ponging (and its cache traffic) hoisted out of the hot loop.
+    pub fn run_windowed(&mut self, max_cycles: u64) -> bool {
+        let q = self.quantum();
+        while !self.halted() && self.r.cycles < max_cycles {
+            self.maybe_boundary();
+            if self.a.cycles != self.anchor {
+                // Resumed mid-window (a prior run stopped at its cycle
+                // budget): advance serially to the next boundary.
+                self.one_cycle();
+                continue;
+            }
+            let window_end = (self.anchor + q).min(max_cycles);
+            let n = (window_end - self.anchor) as usize;
+            let ck = self.a.checkpoint();
+            while self.batches.len() < n {
+                self.batches.push(CycleBatch::default());
+            }
+            for batch in self.batches.iter_mut().take(n) {
+                self.a.run_cycle(batch);
+            }
+            let mut outcome: Option<(RPhase, u64)> = None;
+            for batch in self.batches.iter().take(n) {
+                match self.r.consume_cycle(batch, &self.program) {
+                    RPhase::Ok => {}
+                    phase => {
+                        outcome = Some((phase, batch.cycle));
+                        break;
+                    }
+                }
+            }
+            match outcome {
+                None => {
+                    if window_end == self.anchor + q {
+                        self.anchor = window_end;
+                    }
+                    // else: budget-clamped window — leave the grid alone
+                    // (matching the serial scheduler) and exit at the top.
+                }
+                Some((RPhase::Misp, cycle)) => {
+                    let cmd = self.r.build_recover(&self.program);
+                    self.a.rollback_replay(&ck, cycle, &mut self.scratch);
+                    self.a.apply_recover(&cmd);
+                    self.anchor = cycle;
+                }
+                Some((_, cycle)) => {
+                    // Halted: discard the A-stream's overrun.
+                    self.a.rollback_replay(&ck, cycle, &mut self.scratch);
+                    break;
+                }
+            }
+        }
+        self.finish_run()
+    }
+
+    /// Two-thread run: the A-stream executes on its own thread, publishing
+    /// cycle batches through a bounded lock-free SPSC ring sized to one
+    /// window (back-pressure semantics are carried by the boundary credit
+    /// budget, which mirrors the delay buffer's configured capacities).
+    /// The R-stream consumes on the calling thread and sends exactly one
+    /// sync report per window. Results are byte-identical to the other
+    /// schedulers; a panic on either thread propagates to the caller.
+    pub fn run_parallel(&mut self, max_cycles: u64) -> bool {
+        // Catch up serially to a sync boundary (a previous run may have
+        // stopped mid-window at its cycle budget).
+        loop {
+            if self.halted() || self.r.cycles >= max_cycles {
+                return self.finish_run();
+            }
+            self.maybe_boundary();
+            if self.a.cycles == self.anchor {
+                break;
+            }
+            self.one_cycle();
+        }
+
+        let q = self.quantum();
+        let anchor0 = self.anchor;
+        let a = &mut self.a;
+        let r = &mut self.r;
+        let program = &self.program;
+        let (batch_tx, mut batch_rx) = spsc::ring::<CycleBatch>(q as usize);
+        let (report_tx, report_rx) = std::sync::mpsc::channel::<Report>();
+        let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<CycleBatch>();
+        let mut final_anchor = anchor0;
+
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                a_stream_thread(a, anchor0, q, max_cycles, batch_tx, report_rx, recycle_rx);
+            });
+
+            let mut anchor_r = anchor0;
+            'windows: while anchor_r < max_cycles {
+                let window_end = (anchor_r + q).min(max_cycles);
+                let mut verdict: Option<Report> = None;
+                for _ in anchor_r..window_end {
+                    let Ok(batch) = batch_rx.pop() else {
+                        // A thread exited early (its panic propagates when
+                        // the scope joins).
+                        break 'windows;
+                    };
+                    if verdict.is_none() {
+                        match r.consume_cycle(&batch, program) {
+                            RPhase::Ok => {}
+                            RPhase::Misp => {
+                                verdict = Some(Report::Recover(r.build_recover(program)));
+                            }
+                            RPhase::Halted => {
+                                verdict = Some(Report::Halted { cycle: r.cycles });
+                            }
+                        }
+                    }
+                    let _ = recycle_tx.send(batch);
+                }
+                match verdict {
+                    None => {
+                        if window_end < anchor_r + q {
+                            // Budget-clamped final window: no boundary
+                            // sync, same as the other schedulers.
+                            let _ = report_tx.send(Report::Done);
+                            break 'windows;
+                        }
+                        let report = Report::Boundary {
+                            data_occ: r.drv.delay.data_occupancy(),
+                            ctrl_occ: r.drv.delay.control_occupancy(),
+                            obs: std::mem::take(&mut r.obs_q),
+                        };
+                        if report_tx.send(report).is_err() {
+                            break 'windows;
+                        }
+                        anchor_r = window_end;
+                    }
+                    Some(Report::Recover(cmd)) => {
+                        let cycle = cmd.cycle;
+                        if report_tx.send(Report::Recover(cmd)).is_err() {
+                            break 'windows;
+                        }
+                        anchor_r = cycle;
+                    }
+                    Some(rep @ Report::Halted { .. }) => {
+                        let _ = report_tx.send(rep);
+                        break 'windows;
+                    }
+                    Some(_) => unreachable!("R side only builds Recover/Halted verdicts"),
+                }
+            }
+            final_anchor = anchor_r;
+            // Dropping our endpoints unblocks the A thread if it is still
+            // pushing or waiting for a report.
+        });
+
+        self.anchor = final_anchor;
+        self.finish_run()
+    }
+
     /// End-of-run statistics.
     pub fn stats(&self) -> SlipstreamStats {
-        let r = *self.r_core.stats();
-        let a = *self.a_core.stats();
-        let skipped: u64 = self.a_fe.skip_counts.values().sum();
+        let r = *self.r.core.stats();
+        let a = *self.a.core.stats();
+        let skipped: u64 = self.a.fe.skip_counts.values().sum();
         let mut by_reason: Vec<(Reason, u64)> = self
-            .a_fe
+            .a
+            .fe
             .skip_counts
             .iter()
             .map(|(&bits, &n)| (Reason::from_bits(bits), n))
             .collect();
         by_reason.sort_by_key(|&(r, _)| r.bits());
+        let cycles = self.r.cycles;
         let kilo = |n: u64| {
             if r.retired == 0 {
                 0.0
@@ -517,13 +1141,13 @@ impl SlipstreamProcessor {
             }
         };
         SlipstreamStats {
-            cycles: self.cycles,
+            cycles,
             r_retired: r.retired,
             a_retired: a.retired,
-            ipc: if self.cycles == 0 {
+            ipc: if cycles == 0 {
                 0.0
             } else {
-                r.retired as f64 / self.cycles as f64
+                r.retired as f64 / cycles as f64
             },
             skipped,
             skipped_by_reason: by_reason,
@@ -532,20 +1156,20 @@ impl SlipstreamProcessor {
             } else {
                 skipped as f64 / r.retired as f64
             },
-            ir_mispredictions: self.ir_misps,
-            misp_cycles: self.misp_log.iter().map(|&(_, c)| c).collect(),
-            ir_misp_per_kilo: kilo(self.ir_misps),
-            avg_ir_penalty: if self.ir_misps == 0 {
+            ir_mispredictions: self.r.ir_misps,
+            misp_cycles: self.r.misp_log.iter().map(|&(_, c)| c).collect(),
+            ir_misp_per_kilo: kilo(self.r.ir_misps),
+            avg_ir_penalty: if self.r.ir_misps == 0 {
                 0.0
             } else {
-                self.penalty_sum as f64 / self.ir_misps as f64
+                self.r.penalty_sum as f64 / self.r.ir_misps as f64
             },
             branch_misp_per_kilo: kilo(a.branch_mispredicts),
-            mem_restored: self.mem_restored_sum,
-            value_hints: self.r_drv.value_hints,
+            mem_restored: self.r.mem_restored_sum,
+            value_hints: self.r.drv.value_hints,
             a_core: a,
             r_core: r,
-            front_end: self.a_fe.stats,
+            front_end: self.a.fe.stats,
             halted: self.halted(),
         }
     }
@@ -556,7 +1180,7 @@ impl SlipstreamProcessor {
     }
 
     /// Debug view: committed A-stream traces by (start_pc, len).
-    pub fn commit_histogram(&self) -> &std::collections::HashMap<(u64, u8), u64> {
-        &self.a_fe.commit_histogram
+    pub fn commit_histogram(&self) -> &slipstream_isa::FastHashMap<(u64, u8), u64> {
+        &self.a.fe.commit_histogram
     }
 }

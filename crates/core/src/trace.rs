@@ -86,7 +86,7 @@ pub fn misp_code_label(code: u64) -> &'static str {
 
 /// One point of the interval time-series: every counter is the *delta*
 /// accumulated over the `cycles`-long interval ending at `cycle`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntervalSample {
     /// Cycle the interval ends at.
     pub cycle: u64,

@@ -21,6 +21,7 @@ fn run_with_front_end(p: &Program, mut fe: TraceFrontEnd) -> (Core, TraceFrontEn
     let mut retired = Vec::new();
     while !core.halted() {
         core.cycle(&mut fe, &mut retired);
+        fe.apply_training();
     }
     (core, fe)
 }

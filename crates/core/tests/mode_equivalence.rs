@@ -1,0 +1,255 @@
+//! Differential tests for the three slipstream schedulers: serial
+//! lockstep, slack-window batching, and two-thread decoupled execution
+//! must produce byte-identical architecture and statistics on every
+//! workload — including runs with IR-misprediction recoveries, injected
+//! faults, cycle-budget truncation, and chunked (stop/resume) driving.
+
+use slipstream_core::{ExecMode, SlipstreamConfig, SlipstreamProcessor, SlipstreamStats};
+use slipstream_cpu::FaultSpec;
+use slipstream_isa::{assemble, Program};
+use slipstream_workloads::{benchmark, suite};
+
+const MAX_CYCLES: u64 = 2_000_000;
+const MODES: [ExecMode; 3] = [ExecMode::Serial, ExecMode::Windowed, ExecMode::Threaded];
+
+/// Runs `program` under `mode` and returns everything observable.
+fn run_mode(
+    program: &Program,
+    cfg: &SlipstreamConfig,
+    mode: ExecMode,
+    max_cycles: u64,
+) -> (SlipstreamProcessor, SlipstreamStats) {
+    let mut p = SlipstreamProcessor::new(cfg.clone(), program);
+    p.enable_online_check();
+    p.set_strict(true);
+    p.run_mode(mode, max_cycles);
+    let stats = p.stats();
+    (p, stats)
+}
+
+/// Asserts `got` (from `mode`) is byte-identical to the serial reference.
+fn assert_identical(
+    name: &str,
+    mode: ExecMode,
+    reference: &(SlipstreamProcessor, SlipstreamStats),
+    got: &(SlipstreamProcessor, SlipstreamStats),
+) {
+    assert_eq!(
+        reference.1, got.1,
+        "{name}: {mode:?} stats diverged from serial"
+    );
+    assert_eq!(
+        reference.0.misp_log(),
+        got.0.misp_log(),
+        "{name}: {mode:?} misprediction log diverged"
+    );
+    assert_eq!(
+        reference.0.r_core().arch_regs(),
+        got.0.r_core().arch_regs(),
+        "{name}: {mode:?} R-stream registers diverged"
+    );
+    assert_eq!(
+        reference.0.a_core().arch_regs(),
+        got.0.a_core().arch_regs(),
+        "{name}: {mode:?} A-stream registers diverged"
+    );
+    if let Some(addr) = reference
+        .0
+        .r_core()
+        .mem()
+        .first_difference(got.0.r_core().mem())
+    {
+        panic!("{name}: {mode:?} R-stream memory diverged at {addr:#x}");
+    }
+    if let Some(addr) = reference
+        .0
+        .a_core()
+        .mem()
+        .first_difference(got.0.a_core().mem())
+    {
+        panic!("{name}: {mode:?} A-stream memory diverged at {addr:#x}");
+    }
+}
+
+#[test]
+fn all_eight_benchmarks_identical_across_schedulers() {
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    for w in suite(0.1) {
+        let reference = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+        assert!(reference.1.halted, "{}: did not finish", w.name);
+        for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+            let got = run_mode(&w.program, &cfg, mode, MAX_CYCLES);
+            assert_identical(w.name, mode, &reference, &got);
+        }
+    }
+}
+
+#[test]
+fn recovery_heavy_workload_identical_across_schedulers() {
+    // vortex at this scale triggers a steady stream of IR-misprediction
+    // recoveries: plenty of rollback-and-replay inside windows.
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let w = benchmark("vortex", 0.3).unwrap();
+    let reference = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+    assert!(
+        reference.1.ir_mispredictions > 0,
+        "test needs recoveries to be meaningful"
+    );
+    for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+        let got = run_mode(&w.program, &cfg, mode, MAX_CYCLES);
+        assert_identical("vortex", mode, &reference, &got);
+    }
+}
+
+#[test]
+fn awkward_quanta_stay_identical_to_serial() {
+    // The window grid must not leak into results for any quantum choice,
+    // including 1 (degenerate), primes, and windows far larger than the
+    // delay buffer.
+    let w = benchmark("li", 0.1).unwrap();
+    for quantum in [1usize, 7, 61, 256, 5000] {
+        let mut cfg = SlipstreamConfig::cmp_2x64x4();
+        cfg.sync_quantum = quantum;
+        let reference = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+        for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+            let got = run_mode(&w.program, &cfg, mode, MAX_CYCLES);
+            assert_identical(&format!("li q={quantum}"), mode, &reference, &got);
+        }
+    }
+}
+
+#[test]
+fn cycle_budget_truncation_identical_across_schedulers() {
+    // A max_cycles that lands mid-window: every scheduler must stop in the
+    // same state (no trailing boundary sync, A-side parked mid-window).
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let w = benchmark("go", 0.3).unwrap();
+    let full = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+    let total = full.1.cycles;
+    // Odd fractions of the full run land mid-window with high probability.
+    for budget in [(total / 4) | 1, (total / 2) | 1, (total * 3 / 4) | 1] {
+        let reference = run_mode(&w.program, &cfg, ExecMode::Serial, budget);
+        assert!(!reference.1.halted, "budget {budget} must truncate the run");
+        for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+            let got = run_mode(&w.program, &cfg, mode, budget);
+            assert_identical(&format!("go budget={budget}"), mode, &reference, &got);
+        }
+    }
+}
+
+#[test]
+fn chunked_driving_resumes_mid_window_identically() {
+    // Callers may drive `run` in slices (the fault campaign does). A
+    // stop/resume at a non-boundary cycle must not perturb results, in any
+    // mode and even when the modes are interleaved within one run.
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let w = benchmark("vortex", 0.1).unwrap();
+    let reference = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+    for mode in MODES {
+        let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+        p.enable_online_check();
+        p.set_strict(true);
+        let mut budget = 911; // prime: lands mid-window almost every slice
+        while !p.halted() {
+            p.run_mode(mode, budget);
+            budget += 911;
+        }
+        let got_stats = p.stats();
+        assert_identical(
+            &format!("vortex chunked {mode:?}"),
+            mode,
+            &reference,
+            &(p, got_stats),
+        );
+    }
+    // Mixed-mode chunks: scheduler choice is a per-call detail.
+    let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+    p.enable_online_check();
+    p.set_strict(true);
+    let mut budget = 1013;
+    let mut i = 0;
+    while !p.halted() {
+        p.run_mode(MODES[i % 3], budget);
+        budget += 1013;
+        i += 1;
+    }
+    let got_stats = p.stats();
+    assert_identical(
+        "vortex mixed-mode chunks",
+        ExecMode::Threaded,
+        &reference,
+        &(p, got_stats),
+    );
+}
+
+#[test]
+fn injected_faults_detected_identically_across_schedulers() {
+    // A fault in the A-stream perturbs the reduced stream mid-window; the
+    // detection cycle and full recovery trajectory must not depend on the
+    // scheduler. (The armed fault is part of the A-side checkpoint, so a
+    // rollback-replay refires it deterministically.)
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let w = benchmark("m88ksim", 0.1).unwrap();
+    for (seq, bit) in [(5_000u64, 3u8), (20_000, 17), (33_333, 40)] {
+        let fault = FaultSpec { seq, bit };
+        let run_with_fault = |mode: ExecMode| {
+            let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+            p.enable_online_check();
+            p.set_strict(true);
+            p.arm_fault_a(fault);
+            p.run_mode(mode, MAX_CYCLES);
+            let stats = p.stats();
+            (p, stats)
+        };
+        let reference = run_with_fault(ExecMode::Serial);
+        for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+            let got = run_with_fault(mode);
+            assert_identical(
+                &format!("fault seq={seq} bit={bit}"),
+                mode,
+                &reference,
+                &got,
+            );
+        }
+    }
+}
+
+#[test]
+fn step_interleaves_with_batch_runs() {
+    // `step` (the public single-cycle API) is the serial scheduler one
+    // cycle at a time; mixing it with windowed runs must stay identical.
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let src = "
+        li r1, 4000
+    loop:
+        add r2, r2, r1
+        slli r3, r2, 1
+        xor r2, r2, r3
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt";
+    let program = assemble(src).unwrap();
+    let reference = run_mode(&program, &cfg, ExecMode::Serial, MAX_CYCLES);
+    let mut p = SlipstreamProcessor::new(cfg.clone(), &program);
+    p.enable_online_check();
+    p.set_strict(true);
+    while !p.halted() {
+        for _ in 0..37 {
+            if p.halted() {
+                break;
+            }
+            p.step();
+        }
+        p.run_mode(ExecMode::Windowed, p.cycles() + 1000);
+    }
+    // Mirror the batch schedulers' end-of-run boundary flush so post-run
+    // state (commit histogram, predictor) is comparable.
+    p.run_mode(ExecMode::Serial, u64::MAX);
+    let got_stats = p.stats();
+    assert_identical(
+        "step+windowed interleave",
+        ExecMode::Windowed,
+        &reference,
+        &(p, got_stats),
+    );
+}

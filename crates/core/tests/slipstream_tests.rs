@@ -306,7 +306,7 @@ fn fault_in_checked_region_is_detected_and_recovered() {
     // Fault-free baseline misprediction log.
     let mut clean = SlipstreamProcessor::new(cfg.clone(), &p);
     assert!(clean.run(MAX_CYCLES));
-    let base_log = clean.misp_log.clone();
+    let base_log = clean.misp_log().to_vec();
 
     // Flip a bit in the A-stream in the middle of the run: every executed
     // A-stream value is checked, so this must be caught and repaired.
@@ -369,7 +369,7 @@ fn fault_that_never_fires_is_not_activated() {
     let cfg = SlipstreamConfig::cmp_2x64x4();
     let mut clean = SlipstreamProcessor::new(cfg.clone(), &p);
     assert!(clean.run(MAX_CYCLES));
-    let base_log = clean.misp_log.clone();
+    let base_log = clean.misp_log().to_vec();
     // Armed far past the end of the program: never fires. This is a dead
     // injection site, not an architecturally-masked fault — conflating the
     // two inflates campaign masking rates with runs that injected nothing.
@@ -415,7 +415,7 @@ fn fault_on_skipped_dead_value_is_masked() {
         FaultSpec { seq, bit: 0 },
         MAX_CYCLES,
         &golden,
-        &clean.misp_log,
+        clean.misp_log(),
     );
     assert!(report.fired, "fault must strike the dead write");
     assert_eq!(
@@ -483,7 +483,7 @@ fn fault_in_skipped_region_can_corrupt_silently() {
             FaultSpec { seq, bit: 0 },
             MAX_CYCLES,
             &golden,
-            &clean.misp_log,
+            clean.misp_log(),
         );
         assert_ne!(report.outcome, FaultOutcome::Hang);
         outcomes.push((seq, report.outcome, report.fired));

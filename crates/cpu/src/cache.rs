@@ -19,8 +19,13 @@ pub struct CacheConfig {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// `sets[s]` holds up to `assoc` tags, most-recently-used last.
-    sets: Vec<Vec<u64>>,
+    /// Tag storage flattened to one allocation: set `s` occupies
+    /// `tags[s*assoc .. s*assoc + len[s]]`, most-recently-used last.
+    /// (Flat so cloning a whole `Core` — needed by the slack-window
+    /// checkpoint — is two `memcpy`s instead of `num_sets` allocations.)
+    tags: Vec<u64>,
+    /// Valid-way count per set.
+    len: Vec<u32>,
     line_shift: u32,
     set_mask: u64,
     hits: u64,
@@ -48,7 +53,8 @@ impl Cache {
         );
         Cache {
             cfg,
-            sets: vec![Vec::with_capacity(cfg.assoc); num_sets],
+            tags: vec![0; num_sets * cfg.assoc],
+            len: vec![0; num_sets],
             line_shift: cfg.line_bytes.trailing_zeros(),
             set_mask: (num_sets - 1) as u64,
             hits: 0,
@@ -72,7 +78,9 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
         let set_idx = (line & self.set_mask) as usize;
-        self.sets[set_idx].contains(&line)
+        let base = set_idx * self.cfg.assoc;
+        let valid = self.len[set_idx] as usize;
+        self.tags[base..base + valid].contains(&line)
     }
 
     /// Probes the line containing `addr`; returns `true` on a hit. A miss
@@ -80,17 +88,21 @@ impl Cache {
     pub fn access(&mut self, addr: u64) -> bool {
         let line = self.line_of(addr);
         let set_idx = (line & self.set_mask) as usize;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.cfg.assoc;
+        let valid = self.len[set_idx] as usize;
+        let set = &mut self.tags[base..base + valid];
         if let Some(pos) = set.iter().position(|&t| t == line) {
-            let tag = set.remove(pos);
-            set.push(tag); // move to MRU
+            set[pos..].rotate_left(1); // move to MRU (slot valid-1)
             self.hits += 1;
             true
         } else {
-            if set.len() == self.cfg.assoc {
-                set.remove(0); // evict LRU
+            if valid == self.cfg.assoc {
+                set.rotate_left(1); // evict LRU (slot 0)
+                set[valid - 1] = line;
+            } else {
+                self.tags[base + valid] = line;
+                self.len[set_idx] += 1;
             }
-            set.push(line);
             self.misses += 1;
             false
         }
@@ -108,9 +120,7 @@ impl Cache {
 
     /// Invalidates all lines but keeps the statistics.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.len.fill(0);
     }
 }
 

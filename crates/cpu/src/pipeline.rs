@@ -29,6 +29,14 @@ pub struct FaultSpec {
 /// enough that cache-miss pile-ups and delay-buffer stalls never trip it.
 const WATCHDOG_CYCLES: u64 = 1_000_000;
 
+/// Whether `SLIP_DEBUG_MISP` was set when the process first asked. Read
+/// once: an `env::var_os` per mispredict was a measurable cost in the
+/// dispatch hot path.
+fn debug_misp() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("SLIP_DEBUG_MISP").is_some())
+}
+
 #[derive(Debug, Clone, Copy)]
 struct StoreEntry {
     rob_id: u64,
@@ -46,6 +54,10 @@ struct RobEntry {
     deps: [Option<u64>; 3],
     issued: bool,
     complete_cycle: Option<u64>,
+    /// Cycle at which every dependence is complete, cached once all
+    /// producers have a scheduled completion (producers complete exactly
+    /// once, so the value never goes stale). `None` = not yet computable.
+    ready_at: Option<u64>,
 }
 
 /// Speculative (dispatch-time) view of data memory: architectural memory
@@ -57,13 +69,17 @@ struct SpecMem<'a> {
 
 impl MemRead for SpecMem<'_> {
     fn load(&self, addr: u64, width: MemWidth) -> u64 {
-        // Fast path: with no store in flight (the common case) the
-        // speculative view is architectural memory itself, which resolves
-        // word loads with a single page lookup instead of 8 byte probes.
-        if self.stores.is_empty() {
+        // Fast path: when no in-flight store overlaps the loaded range
+        // (the common case even with a busy store queue), the speculative
+        // view is architectural memory itself, which resolves word loads
+        // with a single page lookup instead of 8 byte probes.
+        let n = width.bytes();
+        let conflict = self.stores.iter().any(|st| {
+            st.addr.wrapping_sub(addr) < n || addr.wrapping_sub(st.addr) < st.width.bytes()
+        });
+        if !conflict {
             return self.mem.load(addr, width);
         }
-        let n = width.bytes();
         let mut out = 0u64;
         for i in 0..n {
             let byte_addr = addr.wrapping_add(i);
@@ -98,6 +114,11 @@ impl MemRead for SpecMem<'_> {
 /// penalty. Since nothing dispatches down a wrong path, the speculative
 /// register state never needs rollback; stores are buffered in the store
 /// queue and only reach memory at retirement.
+///
+/// `Clone` supports the slack-window scheduler's A-core checkpoints: the
+/// whole core state (flat cache tag arrays, memory image, ROB, queues) is
+/// snapshotted at window boundaries and restored on recovery replay.
+#[derive(Clone)]
 pub struct Core {
     cfg: CoreConfig,
     /// Dispatch-time register state (speculative down the supplied path).
@@ -401,32 +422,55 @@ impl Core {
 
     fn issue(&mut self) {
         let mut issued = 0;
+        let mut seen = 0;
         let base = self.rob_base;
+        let now = self.now;
         // Collect issue decisions first to appease the borrow checker,
         // reusing one scratch buffer across cycles.
         let mut to_issue = std::mem::take(&mut self.issue_scratch);
         to_issue.clear();
+        // The scan is oldest-first over the whole ROB but stops once every
+        // unissued entry has been examined — issued entries cost one flag
+        // check each, and the dependence walk runs at most once per entry
+        // thanks to the `ready_at` cache.
         for idx in 0..self.rob.len() {
-            if issued >= self.cfg.width {
+            if issued >= self.cfg.width || seen >= self.unissued {
                 break;
             }
             let e = &self.rob[idx];
             if e.issued {
                 continue;
             }
-            let deps_ready = e.deps.iter().all(|d| match d {
-                None => true,
-                Some(id) => {
-                    if *id < base {
-                        true // already retired, hence complete
+            seen += 1;
+            let ready = match e.ready_at {
+                Some(t) => t <= now,
+                None => {
+                    let deps = e.deps;
+                    let mut at = 0u64;
+                    let mut computable = true;
+                    for id in deps.into_iter().flatten() {
+                        if id < base {
+                            continue; // already retired, hence complete
+                        }
+                        match self.rob[(id - base) as usize].complete_cycle {
+                            Some(c) => at = at.max(c),
+                            None => {
+                                // A producer has not issued yet; its
+                                // completion cycle is unknowable, retry.
+                                computable = false;
+                                break;
+                            }
+                        }
+                    }
+                    if computable {
+                        self.rob[idx].ready_at = Some(at);
+                        at <= now
                     } else {
-                        self.rob[(*id - base) as usize]
-                            .complete_cycle
-                            .is_some_and(|c| c <= self.now)
+                        false
                     }
                 }
-            });
-            if deps_ready {
+            };
+            if ready {
                 to_issue.push(idx);
                 issued += 1;
             }
@@ -535,7 +579,7 @@ impl Core {
                 if mispredicted || item.pred_taken != rec.taken {
                     self.stats.branch_mispredicts += 1;
                     self.trace_event(EventKind::BranchMispredict, rec.seq, rec.pc, rec.next_pc);
-                    if std::env::var_os("SLIP_DEBUG_MISP").is_some() {
+                    if debug_misp() {
                         eprintln!(
                             "misp pc {:#x} taken {:?} pred {:?}",
                             rec.pc, rec.taken, item.pred_taken
@@ -545,7 +589,7 @@ impl Core {
             } else if mispredicted {
                 self.stats.jump_mispredicts += 1;
                 self.trace_event(EventKind::JumpMispredict, rec.seq, rec.pc, rec.next_pc);
-                if std::env::var_os("SLIP_DEBUG_MISP").is_some() {
+                if debug_misp() {
                     eprintln!(
                         "misp pc {:#x} jump to {:#x} pred {:#x}",
                         rec.pc, rec.next_pc, item.pred_npc
@@ -699,6 +743,7 @@ impl Core {
             deps,
             issued: false,
             complete_cycle: None,
+            ready_at: None,
         });
     }
 
@@ -713,6 +758,10 @@ impl Core {
             return;
         }
         let mut slots_used: u32 = 0;
+        // Consecutive items on one cache line need a single probe: a
+        // repeat access is always a hit plus an idempotent MRU move, and
+        // nothing else touches the icache inside this burst.
+        let mut probed_line: Option<u64> = None;
         while let Some(item) = self.pending_fetch.take().or_else(|| driver.next_fetch()) {
             if self.fetch_queue.len() >= self.cfg.fetch_queue {
                 self.pending_fetch = Some(item);
@@ -731,12 +780,16 @@ impl Core {
             }
             // Instruction cache probe; a miss stalls fetch (the line fills
             // during the stall).
-            if !self.icache.access(item.pc) {
-                self.stats.icache_misses += 1;
-                self.fetch_resume_cycle = self.now + self.cfg.icache.miss_penalty;
-                self.trace_event(EventKind::IcacheMiss, NO_SEQ, item.pc, 0);
-                self.pending_fetch = Some(item);
-                break;
+            let line = self.icache.line_of(item.pc);
+            if probed_line != Some(line) {
+                if !self.icache.access(item.pc) {
+                    self.stats.icache_misses += 1;
+                    self.fetch_resume_cycle = self.now + self.cfg.icache.miss_penalty;
+                    self.trace_event(EventKind::IcacheMiss, NO_SEQ, item.pc, 0);
+                    self.pending_fetch = Some(item);
+                    break;
+                }
+                probed_line = Some(line);
             }
             slots_used += item.slot_cost.max(1);
             let fetched_pc = item.pc;

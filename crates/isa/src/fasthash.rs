@@ -1,0 +1,130 @@
+//! A fast, deterministic hasher for simulator-internal hash maps.
+//!
+//! The simulator keys its hot maps (memory page index, IR table, delay
+//! tracking, detector scope) by small integers it generated itself, so
+//! SipHash's DoS resistance buys nothing while its per-lookup cost shows
+//! up directly in simulated-instructions/second. This is the familiar
+//! rotate-xor-multiply construction (as used by rustc's FxHash): one
+//! multiply per 8 bytes of key, quality more than adequate for integer
+//! keys, and — unlike `RandomState` — deterministic across processes,
+//! which keeps any accidental iteration-order dependence reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from Fibonacci hashing: `2^64 / phi`, odd.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One-word-at-a-time multiplicative hasher. See the module docs.
+#[derive(Default, Clone)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "ab" and "ab\0" differ.
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]; `Default` so map construction stays
+/// `FastHashMap::default()`.
+pub type BuildFastHasher = BuildHasherDefault<FastHasher>;
+
+/// Drop-in `HashMap` with the fast deterministic hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, BuildFastHasher>;
+
+/// Drop-in `HashSet` with the fast deterministic hasher.
+pub type FastHashSet<T> = HashSet<T, BuildFastHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of<T: std::hash::Hash>(v: T) -> u64 {
+        use std::hash::BuildHasher;
+        BuildFastHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_ne!(hash_of(42u64), hash_of(43u64));
+        assert_ne!(hash_of((1u64, 2u8)), hash_of((2u64, 1u8)));
+        assert_ne!(hash_of("ab"), hash_of("ab\0"));
+    }
+
+    #[test]
+    fn works_as_a_map() {
+        let mut m: FastHashMap<u64, u64> = FastHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn sequential_page_keys_spread_across_buckets() {
+        // Memory page numbers are sequential small integers; the hash must
+        // not collapse them into one cluster of low bits (HashMap uses the
+        // top 7 bits for control bytes and low bits for the bucket).
+        let mut low_bits: FastHashSet<u64> = FastHashSet::default();
+        for page in 0..128u64 {
+            low_bits.insert(hash_of(page) & 127);
+        }
+        assert!(
+            low_bits.len() > 64,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
+    }
+}

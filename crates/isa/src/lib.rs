@@ -45,6 +45,7 @@
 
 mod arch;
 mod asm;
+pub mod fasthash;
 mod instr;
 mod mem;
 mod program;
@@ -52,6 +53,7 @@ mod reg;
 
 pub use arch::{ArchState, ExecError, MemEffect, Retired};
 pub use asm::{assemble, AsmError};
+pub use fasthash::{BuildFastHasher, FastHashMap, FastHashSet};
 pub use instr::{ExecOut, Instr, InstrKind, MemRead, MemWidth};
 pub use mem::Memory;
 pub use program::{Program, ProgramBuilder};

@@ -1,5 +1,5 @@
+use crate::fasthash::FastHashMap;
 use std::cell::Cell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::instr::{MemRead, MemWidth};
@@ -47,7 +47,7 @@ static ZERO_PAGE: Page = [0; PAGE_SIZE];
 #[derive(Debug, Clone)]
 pub struct Memory {
     /// Page number → slot in `pages`/`page_nos`.
-    index: HashMap<u64, u32>,
+    index: FastHashMap<u64, u32>,
     /// Page data, copy-on-write shared between clones.
     pages: Vec<Arc<Page>>,
     /// Page number of each slot (parallel to `pages`).
@@ -60,7 +60,7 @@ pub struct Memory {
 impl Default for Memory {
     fn default() -> Memory {
         Memory {
-            index: HashMap::new(),
+            index: FastHashMap::default(),
             pages: Vec::new(),
             page_nos: Vec::new(),
             last: Cell::new((NO_PAGE, 0)),

@@ -181,6 +181,13 @@ impl TracePredictor {
         self.stats
     }
 
+    /// Restores a previously captured counter snapshot. `predict` bumps the
+    /// accuracy counters, so a checkpoint/replay scheduler that re-runs
+    /// predictions must rewind them to stay cycle-exact with a straight run.
+    pub fn restore_stats(&mut self, snapshot: TracePredictorStats) {
+        self.stats = snapshot;
+    }
+
     /// Predicts the trace following `hist`. Returns `None` when neither
     /// table hits (cold or aliased); the consumer then falls back to
     /// constructing a trace statically.

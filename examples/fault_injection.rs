@@ -31,7 +31,7 @@ fn main() {
     // this one, and events past the first divergence are the fault's).
     let mut clean = SlipstreamProcessor::new(cfg.clone(), &w.program);
     assert!(clean.run(50_000_000));
-    let base_log = clean.misp_log.clone();
+    let base_log = clean.misp_log().to_vec();
     let dynamic = clean.stats().r_retired;
     println!(
         "workload: {} ({} instructions, {:.1}% removed by the A-stream)\n",

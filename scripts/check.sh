@@ -25,4 +25,7 @@ cargo run --release -q -p slipstream-bench --bin differential_fuzz -- --smoke --
 echo "==> trace smoke (flight recorder + exporters, validates the JSON artifacts)"
 cargo run --release -q -p slipstream-bench --bin trace_dump -- --smoke
 
+echo "==> throughput smoke (simulator-speed regression gate vs committed BENCH_throughput.json)"
+cargo run --release -q -p slipstream-bench --bin throughput -- --smoke
+
 echo "OK"
