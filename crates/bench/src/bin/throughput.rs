@@ -8,10 +8,15 @@
 //! for machine consumption.
 //!
 //! Models:
+//! - `calibration` — a fixed, scale-independent arithmetic loop on the
+//!   SS(64x4) core; its speed measures the *host*, not the workload, and
+//!   normalizes the `--smoke` gate across machines
 //! - `ss64` — single-core SS(64x4) baseline
 //! - `slipstream` — CMP(2x64x4), serial lockstep scheduler
 //! - `slipstream-window` — CMP(2x64x4), slack-window scheduler (the
 //!   library default)
+//! - `slipstream-l2` — CMP(2x64x4) with the shared 512 KB L2 and
+//!   bandwidth-limited memory port modeled, slack-window scheduler
 //! - `slipstream-threaded` — CMP(2x64x4), two OS threads over the SPSC
 //!   ring (only with `--parallel-cores`)
 //!
@@ -23,20 +28,28 @@
 //! - `--smoke` is the CI regression gate: a quick reduced-scale pass
 //!   (scale 0.2, reps 1, all models) that does NOT overwrite
 //!   `BENCH_throughput.json`; instead it compares the measured per-model
-//!   simulation speed against the committed file and fails loudly if any
-//!   shared model has slowed to less than half its committed speed.
+//!   simulation speed against the committed file, after normalizing by
+//!   the calibration row's host-speed ratio, and fails loudly if any
+//!   shared model has slowed beyond the tolerance.
 
 use std::time::Instant;
 
 use slipstream_bench::{json, MAX_CYCLES};
 use slipstream_core::{run_superscalar, ExecMode, SlipstreamConfig, SlipstreamProcessor};
 use slipstream_cpu::CoreConfig;
+use slipstream_isa::assemble;
 use slipstream_workloads::{suite, Workload};
 
-/// Allowed slowdown vs the committed baseline before `--smoke` fails:
-/// wall-clock noise on shared CI runners is real, a genuine regression from
-/// an accidental O(n²) or a lost optimisation is usually far bigger.
-const SMOKE_TOLERANCE: f64 = 2.0;
+/// Allowed slowdown vs the committed baseline before `--smoke` fails.
+/// The calibration row cancels most host-speed variance (a slower CI
+/// runner slows the calibration loop and the models alike), so the
+/// tolerance only has to absorb scheduling jitter — not machine identity.
+const SMOKE_TOLERANCE: f64 = 1.5;
+
+/// Host-speed ratios outside this band are treated as suspicious (a
+/// broken calibration row, not a slower machine) and clamped so they
+/// cannot mask a real regression entirely.
+const HOST_RATIO_BAND: (f64, f64) = (0.25, 4.0);
 
 /// One timed simulation: what ran, how much it simulated, how long it took.
 struct Measurement {
@@ -46,6 +59,12 @@ struct Measurement {
     cycles: u64,
     /// Best-of-reps wall time in seconds.
     seconds: f64,
+    /// Shared-L2 traffic (A + R cores); zero for models without an L2.
+    l2_hits: u64,
+    /// Shared-L2 misses (A + R cores).
+    l2_misses: u64,
+    /// Cycles L2 misses spent queued on the busy memory port (A + R).
+    port_stall_cycles: u64,
 }
 
 impl Measurement {
@@ -59,29 +78,66 @@ impl Measurement {
 }
 
 /// Times `f` `reps` times and keeps the fastest run's wall time, trusting
-/// `f` to return the same (instructions, cycles) every repetition.
-fn best_of<F: FnMut() -> (u64, u64)>(reps: u32, mut f: F) -> (u64, u64, f64) {
+/// `f` to return the same counters every repetition.
+fn best_of<F: FnMut() -> (u64, u64, [u64; 3])>(reps: u32, mut f: F) -> (u64, u64, [u64; 3], f64) {
     let mut best = f64::INFINITY;
-    let mut counts = (0, 0);
+    let mut counts = (0, 0, [0; 3]);
     for _ in 0..reps {
         let start = Instant::now();
         counts = std::hint::black_box(f());
         best = best.min(start.elapsed().as_secs_f64());
     }
-    (counts.0, counts.1, best)
+    (counts.0, counts.1, counts.2, best)
 }
 
-/// The models to measure, in output order.
-fn models(parallel_cores: bool) -> Vec<(&'static str, Option<ExecMode>)> {
+/// The models to measure, in output order: name, scheduler (None = the
+/// single-core baseline), and whether the shared-L2 memory system is on.
+fn models(parallel_cores: bool) -> Vec<(&'static str, Option<ExecMode>, bool)> {
     let mut m = vec![
-        ("ss64", None),
-        ("slipstream", Some(ExecMode::Serial)),
-        ("slipstream-window", Some(ExecMode::Windowed)),
+        ("ss64", None, false),
+        ("slipstream", Some(ExecMode::Serial), false),
+        ("slipstream-window", Some(ExecMode::Windowed), false),
+        ("slipstream-l2", Some(ExecMode::Windowed), true),
     ];
     if parallel_cores {
-        m.push(("slipstream-threaded", Some(ExecMode::Threaded)));
+        m.push(("slipstream-threaded", Some(ExecMode::Threaded), false));
     }
     m
+}
+
+/// The host-speed probe: a fixed arithmetic loop whose simulated work is
+/// independent of `scale`, so its instrs/s measures only the machine (and
+/// build) running the simulator. `--smoke` divides measured by committed
+/// calibration speed to normalize every other model's floor.
+fn calibration(reps: u32) -> Measurement {
+    let src = "
+        li r1, 200000
+    loop:
+        xor r2, r2, r1
+        add r3, r3, r2
+        slli r4, r3, 1
+        srli r5, r4, 2
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    ";
+    let p = assemble(src).expect("calibration loop assembles");
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let (instructions, cycles, _, seconds) = best_of(reps, || {
+        let stats = run_superscalar(CoreConfig::ss_64x4(), cfg.trace_pred, &p, MAX_CYCLES);
+        assert!(stats.halted, "calibration loop did not complete");
+        (stats.core.retired, stats.core.cycles, [0; 3])
+    });
+    Measurement {
+        bench: "calibration",
+        model: "calibration",
+        instructions,
+        cycles,
+        seconds,
+        l2_hits: 0,
+        l2_misses: 0,
+        port_stall_cycles: 0,
+    }
 }
 
 fn measure(
@@ -89,9 +145,15 @@ fn measure(
     cfg: &SlipstreamConfig,
     model: &'static str,
     mode: Option<ExecMode>,
+    shared_l2: bool,
     reps: u32,
 ) -> Measurement {
-    let (instructions, cycles, seconds) = match mode {
+    let cfg = if shared_l2 {
+        SlipstreamConfig::cmp_shared_l2()
+    } else {
+        cfg.clone()
+    };
+    let (instructions, cycles, l2, seconds) = match mode {
         None => best_of(reps, || {
             let stats = run_superscalar(
                 CoreConfig::ss_64x4(),
@@ -100,7 +162,7 @@ fn measure(
                 MAX_CYCLES,
             );
             assert!(stats.halted, "{}: SS(64x4) did not complete", w.name);
-            (stats.core.retired, stats.core.cycles)
+            (stats.core.retired, stats.core.cycles, [0; 3])
         }),
         Some(mode) => best_of(reps, || {
             let mut proc = SlipstreamProcessor::new(cfg.clone(), &w.program);
@@ -112,7 +174,15 @@ fn measure(
             let stats = proc.stats();
             // Count work on both cores: the simulator executes A- and
             // R-stream instructions even though IPC only counts R.
-            (stats.a_retired + stats.r_retired, stats.cycles)
+            (
+                stats.a_retired + stats.r_retired,
+                stats.cycles,
+                [
+                    stats.a_core.l2_hits + stats.r_core.l2_hits,
+                    stats.a_core.l2_misses + stats.r_core.l2_misses,
+                    stats.a_core.port_stall_cycles + stats.r_core.port_stall_cycles,
+                ],
+            )
         }),
     };
     Measurement {
@@ -121,6 +191,9 @@ fn measure(
         instructions,
         cycles,
         seconds,
+        l2_hits: l2[0],
+        l2_misses: l2[1],
+        port_stall_cycles: l2[2],
     }
 }
 
@@ -200,30 +273,48 @@ fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
 
     println!(
-        "{:<10} {:<20} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "{:<11} {:<20} {:>12} {:>12} {:>9} {:>12} {:>12}",
         "benchmark", "model", "instrs", "cycles", "wall s", "instrs/s", "cycles/s"
     );
+    // The calibration row runs at every scale, smoke or not, so the
+    // committed file and the smoke pass always have a host-speed anchor.
+    rows.push(calibration(reps));
     for w in &workloads {
-        for &(model, mode) in &model_list {
-            let r = measure(w, &cfg, model, mode, reps);
-            println!(
-                "{:<10} {:<20} {:>12} {:>12} {:>9.3} {:>12.0} {:>12.0}",
-                r.bench,
-                r.model,
-                r.instructions,
-                r.cycles,
-                r.seconds,
-                r.instrs_per_sec(),
-                r.cycles_per_sec()
-            );
-            rows.push(r);
+        for &(model, mode, shared_l2) in &model_list {
+            rows.push(measure(w, &cfg, model, mode, shared_l2, reps));
         }
     }
+    for r in &rows {
+        println!(
+            "{:<11} {:<20} {:>12} {:>12} {:>9.3} {:>12.0} {:>12.0}",
+            r.bench,
+            r.model,
+            r.instructions,
+            r.cycles,
+            r.seconds,
+            r.instrs_per_sec(),
+            r.cycles_per_sec()
+        );
+    }
+    let l2_total: (u64, u64, u64) =
+        rows.iter()
+            .filter(|r| r.model == "slipstream-l2")
+            .fold((0, 0, 0), |acc, r| {
+                (
+                    acc.0 + r.l2_hits,
+                    acc.1 + r.l2_misses,
+                    acc.2 + r.port_stall_cycles,
+                )
+            });
+    println!(
+        "l2          {:<20} {} hits, {} misses, {} port-stall cycles",
+        "slipstream-l2", l2_total.0, l2_total.1, l2_total.2
+    );
 
     let totals = model_totals(rows.iter());
     for &(model, instrs, secs) in &totals {
         println!(
-            "{:<10} {:<20} {:>12} {:>12} {:>9.3} {:>12.0}",
+            "{:<11} {:<20} {:>12} {:>12} {:>9.3} {:>12.0}",
             "TOTAL",
             model,
             instrs,
@@ -237,7 +328,7 @@ fn main() {
         for &(model, i, s) in &totals {
             if model.starts_with("slipstream-") {
                 println!(
-                    "speedup    {:<20} {:>6.2}x vs serial slipstream",
+                    "speedup     {:<20} {:>6.2}x vs serial slipstream",
                     model,
                     (i as f64 / s) / base
                 );
@@ -255,25 +346,55 @@ fn main() {
             !committed.is_empty(),
             "committed BENCH_throughput.json has no parsable model rows"
         );
+        // The calibration rows (committed vs measured) cancel host speed
+        // out of the comparison: a runner half as fast as the one that
+        // wrote the committed file halves every model's floor too.
+        let host_ratio = {
+            let measured = totals
+                .iter()
+                .find(|(m, _, _)| *m == "calibration")
+                .map(|&(_, i, s)| i as f64 / s);
+            let committed_cal = committed
+                .iter()
+                .find(|(m, _, _)| m == "calibration")
+                .map(|&(_, i, s)| i as f64 / s);
+            match (measured, committed_cal) {
+                (Some(m), Some(c)) if c > 0.0 => {
+                    let raw = m / c;
+                    let clamped = raw.clamp(HOST_RATIO_BAND.0, HOST_RATIO_BAND.1);
+                    println!("smoke       host ratio {raw:.3} (clamped {clamped:.3})");
+                    clamped
+                }
+                // Committed file predates the calibration row: fall back
+                // to the un-normalized comparison.
+                _ => {
+                    println!("smoke       no committed calibration row; host ratio 1.0");
+                    1.0
+                }
+            }
+        };
         let mut checked = 0;
         let mut failures = Vec::new();
         for (model, c_instrs, c_secs) in &committed {
+            if model == "calibration" {
+                continue; // the anchor itself is not gated
+            }
             let Some(&(_, instrs, secs)) = totals.iter().find(|(m, _, _)| m == model) else {
                 continue; // model not measured in this configuration
             };
             let committed_speed = *c_instrs as f64 / c_secs;
             let measured_speed = instrs as f64 / secs;
+            let floor = committed_speed * host_ratio / SMOKE_TOLERANCE;
             checked += 1;
             println!(
-                "smoke      {model:<20} measured {measured_speed:>12.0} instrs/s, \
-                 committed {committed_speed:>12.0} (floor {:.0})",
-                committed_speed / SMOKE_TOLERANCE
+                "smoke       {model:<20} measured {measured_speed:>12.0} instrs/s, \
+                 committed {committed_speed:>12.0} (floor {floor:.0})"
             );
-            if measured_speed < committed_speed / SMOKE_TOLERANCE {
+            if measured_speed < floor {
                 failures.push(format!(
-                    "{model}: {measured_speed:.0} instrs/s is below {:.0} \
-                     (committed {committed_speed:.0} / tolerance {SMOKE_TOLERANCE})",
-                    committed_speed / SMOKE_TOLERANCE
+                    "{model}: {measured_speed:.0} instrs/s is below {floor:.0} \
+                     (committed {committed_speed:.0} x host ratio {host_ratio:.3} \
+                     / tolerance {SMOKE_TOLERANCE})"
                 ));
             }
         }
@@ -283,7 +404,7 @@ fn main() {
             "simulator throughput regression:\n  {}",
             failures.join("\n  ")
         );
-        println!("smoke      OK — {checked} models within {SMOKE_TOLERANCE}x of committed speed");
+        println!("smoke       OK — {checked} models within {SMOKE_TOLERANCE}x of committed speed");
         return;
     }
 
@@ -296,6 +417,9 @@ fn main() {
                 .str("model", r.model)
                 .raw("instructions", r.instructions)
                 .raw("cycles", r.cycles)
+                .raw("l2_hits", r.l2_hits)
+                .raw("l2_misses", r.l2_misses)
+                .raw("port_stall_cycles", r.port_stall_cycles)
                 .f64("seconds", r.seconds, 6)
                 .f64("instrs_per_sec", r.instrs_per_sec(), 0)
                 .f64("cycles_per_sec", r.cycles_per_sec(), 0)

@@ -9,7 +9,7 @@ use std::path::Path;
 
 use slipstream_bench::{chrome_trace_json, metrics_json, pipeview_text};
 use slipstream_core::{
-    ExecMode, FlightRecording, SlipstreamConfig, SlipstreamProcessor, TraceConfig,
+    EventKind, ExecMode, FlightRecording, SlipstreamConfig, SlipstreamProcessor, TraceConfig,
 };
 use slipstream_cpu::FaultSpec;
 use slipstream_isa::{assemble, Program};
@@ -68,6 +68,34 @@ fn five_sink_merge_is_byte_identical_across_schedulers() {
         let (halted, got) = traced_run(&w.program, mode, None);
         assert!(halted);
         assert_recordings_identical("vortex", mode, &reference, &got);
+    }
+}
+
+#[test]
+fn shared_l2_recording_is_byte_identical_across_schedulers() {
+    // With the shared L2 and bandwidth-limited memory port modeled, the
+    // recorded artifacts — including the new l2-miss/port-stall events —
+    // must still not depend on the scheduler, even though the two cores'
+    // outer-level traffic is interleaved differently by each one.
+    let w = benchmark("vortex", 0.2).unwrap();
+    let run = |mode: ExecMode| {
+        let mut p = SlipstreamProcessor::new(SlipstreamConfig::cmp_shared_l2(), &w.program);
+        // A large ring: L2 misses are concentrated in the cold start, and
+        // the default flight window would have evicted them by halt.
+        p.enable_tracing(TraceConfig::flight(1 << 20).with_metrics(200));
+        let halted = p.run_mode(mode, BUDGET);
+        (halted, p.flight_recording().expect("tracing enabled"))
+    };
+    let (halted, reference) = run(ExecMode::Serial);
+    assert!(halted);
+    assert!(
+        reference.events.iter().any(|e| e.kind == EventKind::L2Miss),
+        "cold L1 misses must surface as L2 misses in the recording"
+    );
+    for mode in ALT_MODES {
+        let (halted, got) = run(mode);
+        assert!(halted);
+        assert_recordings_identical("vortex+l2", mode, &reference, &got);
     }
 }
 

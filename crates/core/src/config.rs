@@ -1,4 +1,4 @@
-use slipstream_cpu::CoreConfig;
+use slipstream_cpu::{CoreConfig, L2Config};
 use slipstream_predict::TracePredictorConfig;
 
 /// Which classes of computation the IR-detector may select for removal.
@@ -100,6 +100,13 @@ pub struct SlipstreamConfig {
     /// architectural parameter (it sets the training-visibility latency,
     /// like any pipeline depth).
     pub sync_quantum: usize,
+    /// Shared L2 + bandwidth-limited memory port behind both cores'
+    /// private L1s. `None` (the historical model) backs every L1 miss with
+    /// its flat `miss_penalty` and zero contention. Cross-core contention
+    /// is accounted deterministically at sync-boundary granularity (see
+    /// `slipstream_cpu::L2View`), so all three schedulers stay
+    /// byte-identical.
+    pub l2: Option<L2Config>,
 }
 
 impl SlipstreamConfig {
@@ -117,6 +124,22 @@ impl SlipstreamConfig {
             restores_per_cycle: 4,
             removal: RemovalPolicy::all(),
             sync_quantum: 64,
+            l2: None,
+        }
+    }
+
+    /// CMP(2x64x4) with the shared memory system modeled: a unified
+    /// 512 KB 8-way L2 and a 4-fill memory port behind both cores' L1s,
+    /// so the A- and R-stream compete for (and constructively share)
+    /// outer-level bandwidth instead of each enjoying a private magic
+    /// memory. The L2 hit latency equals the old flat L1 miss penalty, so
+    /// an L2-resident working set behaves like the `cmp_2x64x4` model;
+    /// L2-missing traffic now pays a real memory latency and queues on
+    /// the port.
+    pub fn cmp_shared_l2() -> SlipstreamConfig {
+        SlipstreamConfig {
+            l2: Some(L2Config::l2_512k_8w()),
+            ..SlipstreamConfig::cmp_2x64x4()
         }
     }
 

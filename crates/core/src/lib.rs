@@ -38,6 +38,7 @@ pub use recovery::{RecoveryController, RecoveryOutcome};
 pub use removal::{Category, Reason};
 pub use rstream::{IrMispKind, RStreamDriver};
 pub use slipstream::{ExecMode, SlipstreamProcessor, SlipstreamStats};
+pub use slipstream_cpu::L2Config;
 pub use trace::{
     EventKind, FlightRecording, IntervalSample, IntervalSampler, StreamId, TraceConfig, TraceEvent,
     TraceSink, NO_SEQ,

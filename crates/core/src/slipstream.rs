@@ -38,7 +38,7 @@
 //! — never from the live buffer the R-stream is draining; (3) recovery
 //! always restarts the window grid at the recovery cycle.
 
-use slipstream_cpu::{Core, CoreStats, FaultSpec};
+use slipstream_cpu::{merge_l2_logs, Core, CoreStats, FaultSpec, L2Access, L2View};
 use slipstream_isa::{ArchState, MemWidth, Memory, Program, Retired, NUM_REGS};
 use slipstream_predict::{PathHistory, TraceId};
 use slipstream_spsc as spsc;
@@ -130,6 +130,11 @@ struct CycleBatch {
     entries: Vec<DelayEntry>,
     commits: Vec<TraceCommit>,
     applied: Vec<(u64, TraceId)>,
+    /// Shared-L2 accesses the A-core made this cycle. The R side
+    /// accumulates them so a recovery (or threaded boundary) can rebuild
+    /// the merged arbitration stream without asking the A side — whose
+    /// core may have run ahead.
+    l2_log: Vec<L2Access>,
     sample: Option<ASample>,
 }
 
@@ -172,6 +177,10 @@ struct RecoverCmd {
     penalize: Vec<u64>,
     /// Deferred IR-table observations from the truncated window.
     obs: Vec<(u64, TraceId, RemovalInfo)>,
+    /// The R-core's shared-L2 accesses since the last boundary; the A side
+    /// merges them with its own (replayed) log so both canonical L2
+    /// replicas apply the identical stream at the recovery cycle.
+    l2_log: Vec<L2Access>,
     /// Strict mode only: the R-stream's full memory image for the
     /// post-recovery bit-identity check.
     strict_mem: Option<Memory>,
@@ -180,11 +189,13 @@ struct RecoverCmd {
 /// One sync report per window, R-thread → A-thread.
 #[allow(clippy::large_enum_variant)] // one Report per window, never stored
 enum Report {
-    /// Window completed cleanly: boundary credits + deferred observations.
+    /// Window completed cleanly: boundary credits + deferred observations
+    /// (+ the R-core's shared-L2 log for the A side's boundary merge).
     Boundary {
         data_occ: usize,
         ctrl_occ: usize,
         obs: Vec<(u64, TraceId, RemovalInfo)>,
+        l2_log: Vec<L2Access>,
     },
     /// IR-misprediction inside the window.
     Recover(RecoverCmd),
@@ -238,7 +249,9 @@ impl AHalf {
         batch.entries.clear();
         batch.commits.clear();
         batch.applied.clear();
+        batch.l2_log.clear();
         batch.sample = None;
+        let l2_mark = self.core.l2_log().len();
 
         // The front end has no clock of its own; stamp its sink here (the
         // core stamps its own sink inside `cycle`).
@@ -259,6 +272,9 @@ impl AHalf {
         let mut retired = std::mem::take(&mut self.retired_buf);
         self.core.cycle(&mut self.fe, &mut retired);
         self.retired_buf = retired;
+        batch
+            .l2_log
+            .extend_from_slice(&self.core.l2_log()[l2_mark..]);
 
         for e in self.fe.out_entries.drain(..) {
             if !e.skipped {
@@ -320,7 +336,13 @@ impl AHalf {
     fn apply_recover(&mut self, cmd: &RecoverCmd) {
         debug_assert_eq!(self.cycles, cmd.cycle, "A must sit at the recovery cycle");
         // Recovery is a sync boundary: flush deferred learning first, in
-        // the same train-then-observe order as a normal boundary.
+        // the same train-then-observe order as a normal boundary. The
+        // shared-L2 merge follows the same rule — this side's log (rebuilt
+        // by replay) merged with the R-core's log is the identical stream
+        // the R side applied in `build_recover`.
+        let a_l2 = self.core.l2_take_log();
+        let merged = merge_l2_logs(&a_l2, &cmd.l2_log);
+        self.core.l2_apply_boundary(&merged);
         self.fe.apply_training();
         for &(key, id, info) in &cmd.obs {
             self.fe.ir_table.observe(key, id, info);
@@ -390,6 +412,10 @@ struct RHalf {
     /// IR-table lives on the A side; shipping observations at boundaries
     /// keeps every scheduler's table updates at identical points).
     obs_q: Vec<(u64, TraceId, RemovalInfo)>,
+    /// The A-core's shared-L2 accesses accumulated from consumed batches —
+    /// this side's copy of the A log, so boundary/recovery merges never
+    /// have to read the (possibly run-ahead) A core.
+    pending_a_l2: Vec<L2Access>,
     recovery_startup: u64,
     restores_per_cycle: u64,
 }
@@ -454,6 +480,7 @@ impl RHalf {
             self.drv.delay.push(e);
         }
         self.applied_pending.extend_from_slice(&batch.applied);
+        self.pending_a_l2.extend_from_slice(&batch.l2_log);
         for &c in &batch.commits {
             self.drv.delay.push_commit(c);
         }
@@ -592,6 +619,14 @@ impl RHalf {
         self.penalty_sum += latency;
         self.mem_restored_sum += repairs.len() as u64;
 
+        // Shared-L2 boundary merge, R side: this core's log plus the
+        // A-core accesses accumulated from consumed batches (exactly the
+        // cycles up to the detection — the stream A's replay regenerates).
+        let r_l2 = self.core.l2_take_log();
+        let a_l2 = std::mem::take(&mut self.pending_a_l2);
+        let merged = merge_l2_logs(&a_l2, &r_l2);
+        self.core.l2_apply_boundary(&merged);
+
         RecoverCmd {
             cycle: self.cycles,
             restart,
@@ -600,6 +635,7 @@ impl RHalf {
             r_regs,
             penalize,
             obs: std::mem::take(&mut self.obs_q),
+            l2_log: r_l2,
             strict_mem: self.strict.then(|| self.core.mem().clone()),
         }
     }
@@ -612,6 +648,18 @@ fn boundary_sync(a: &mut AHalf, r: &mut RHalf) {
     a.fe.apply_training();
     for (key, id, info) in r.obs_q.drain(..) {
         a.fe.ir_table.observe(key, id, info);
+    }
+    // Shared-L2 boundary merge: both cores are at the same cycle here, so
+    // read both logs directly and apply the identical merged stream to
+    // both canonical replicas. The R side's batch-accumulated copy of the
+    // A log duplicates `a_l2` and is discarded.
+    if a.core.l2().is_some() {
+        let a_l2 = a.core.l2_take_log();
+        let r_l2 = r.core.l2_take_log();
+        let merged = merge_l2_logs(&a_l2, &r_l2);
+        a.core.l2_apply_boundary(&merged);
+        r.core.l2_apply_boundary(&merged);
+        r.pending_a_l2.clear();
     }
     a.data_occ = r.drv.delay.data_occupancy();
     a.ctrl_occ = r.drv.delay.control_occupancy();
@@ -652,11 +700,17 @@ fn a_stream_thread(
                 data_occ,
                 ctrl_occ,
                 obs,
+                l2_log,
             } => {
                 a.fe.apply_training();
                 for (key, id, info) in obs {
                     a.fe.ir_table.observe(key, id, info);
                 }
+                // Shared-L2 boundary merge, A side: own log + the shipped
+                // R log is the same stream the R thread already applied.
+                let a_l2 = a.core.l2_take_log();
+                let merged = merge_l2_logs(&a_l2, &l2_log);
+                a.core.l2_apply_boundary(&merged);
                 a.data_occ = data_occ;
                 a.ctrl_occ = ctrl_occ;
                 a.data_pushed = 0;
@@ -710,9 +764,17 @@ impl SlipstreamProcessor {
         // pointer copies and the streams un-share pages only as they write.
         let a_image = program.initial_memory();
         let r_image = a_image.clone();
+        let mut a_core = Core::new(cfg.core.clone(), a_image);
+        let mut r_core = Core::new(cfg.core.clone(), r_image);
+        if let Some(l2) = cfg.l2 {
+            // Core id is the arbitration tie-break: the leading A-stream
+            // wins same-cycle port conflicts.
+            a_core.attach_l2(L2View::new(l2, 0));
+            r_core.attach_l2(L2View::new(l2, 1));
+        }
         SlipstreamProcessor {
             a: AHalf {
-                core: Core::new(cfg.core.clone(), a_image),
+                core: a_core,
                 fe: a_fe,
                 cycles: 0,
                 data_occ: 0,
@@ -725,7 +787,7 @@ impl SlipstreamProcessor {
                 retired_buf: Vec::new(),
             },
             r: RHalf {
-                core: Core::new(cfg.core.clone(), r_image),
+                core: r_core,
                 drv: r_drv,
                 recovery: RecoveryController::new(),
                 observe_hist: PathHistory::new(cfg.trace_pred.path_len),
@@ -742,6 +804,7 @@ impl SlipstreamProcessor {
                 misp_log: Vec::new(),
                 machine_trace: None,
                 obs_q: Vec::new(),
+                pending_a_l2: Vec::new(),
                 recovery_startup: cfg.recovery_startup,
                 restores_per_cycle: cfg.restores_per_cycle,
             },
@@ -1086,10 +1149,17 @@ impl SlipstreamProcessor {
                             let _ = report_tx.send(Report::Done);
                             break 'windows;
                         }
+                        // Shared-L2 boundary merge, R side (mirrors
+                        // `build_recover`): own log + accumulated A log.
+                        let r_l2 = r.core.l2_take_log();
+                        let a_l2 = std::mem::take(&mut r.pending_a_l2);
+                        let merged = merge_l2_logs(&a_l2, &r_l2);
+                        r.core.l2_apply_boundary(&merged);
                         let report = Report::Boundary {
                             data_occ: r.drv.delay.data_occupancy(),
                             ctrl_occ: r.drv.delay.control_occupancy(),
                             obs: std::mem::take(&mut r.obs_q),
+                            l2_log: r_l2,
                         };
                         if report_tx.send(report).is_err() {
                             break 'windows;

@@ -215,6 +215,119 @@ fn injected_faults_detected_identically_across_schedulers() {
 }
 
 #[test]
+fn shared_l2_identical_across_schedulers() {
+    // The shared L2 + memory port couples the two cores through a second
+    // resource; window-deferred arbitration must keep every scheduler
+    // byte-identical anyway, and the config must actually exercise the L2.
+    let cfg = SlipstreamConfig::cmp_shared_l2();
+    for w in suite(0.1) {
+        let reference = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+        assert!(reference.1.halted, "{}: did not finish", w.name);
+        let touched = reference.1.a_core.l2_hits
+            + reference.1.a_core.l2_misses
+            + reference.1.r_core.l2_hits
+            + reference.1.r_core.l2_misses;
+        assert!(touched > 0, "{}: shared L2 never accessed", w.name);
+        for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+            let got = run_mode(&w.program, &cfg, mode, MAX_CYCLES);
+            assert_identical(w.name, mode, &reference, &got);
+        }
+    }
+}
+
+#[test]
+fn shared_l2_recovery_heavy_identical_across_schedulers() {
+    // Recoveries roll the A-core (including its L2 view) back to a window
+    // checkpoint and replay; the regenerated access log must merge to the
+    // same canonical L2 state the serial scheduler reaches.
+    let cfg = SlipstreamConfig::cmp_shared_l2();
+    let w = benchmark("vortex", 0.3).unwrap();
+    let reference = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+    assert!(
+        reference.1.ir_mispredictions > 0,
+        "test needs recoveries to be meaningful"
+    );
+    for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+        let got = run_mode(&w.program, &cfg, mode, MAX_CYCLES);
+        assert_identical("vortex+l2", mode, &reference, &got);
+    }
+}
+
+#[test]
+fn shared_l2_awkward_quanta_stay_identical() {
+    // Quantum 1 degenerates to per-cycle arbitration; large quanta defer
+    // a lot of cross-core contention to one merge. All must stay on the
+    // serial reference for that same quantum.
+    let w = benchmark("li", 0.1).unwrap();
+    for quantum in [1usize, 7, 61, 256] {
+        let mut cfg = SlipstreamConfig::cmp_shared_l2();
+        cfg.sync_quantum = quantum;
+        let reference = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+        for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+            let got = run_mode(&w.program, &cfg, mode, MAX_CYCLES);
+            assert_identical(&format!("li+l2 q={quantum}"), mode, &reference, &got);
+        }
+    }
+}
+
+#[test]
+fn shared_l2_injected_faults_identical_across_schedulers() {
+    // A fault perturbs the A-stream's (and thus the shared L2's) access
+    // stream mid-window; detection and the whole recovery trajectory must
+    // still not depend on the scheduler.
+    let cfg = SlipstreamConfig::cmp_shared_l2();
+    let w = benchmark("m88ksim", 0.1).unwrap();
+    for (seq, bit) in [(5_000u64, 3u8), (33_333, 40)] {
+        let fault = FaultSpec { seq, bit };
+        let run_with_fault = |mode: ExecMode| {
+            let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+            p.enable_online_check();
+            p.set_strict(true);
+            p.arm_fault_a(fault);
+            p.run_mode(mode, MAX_CYCLES);
+            let stats = p.stats();
+            (p, stats)
+        };
+        let reference = run_with_fault(ExecMode::Serial);
+        for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+            let got = run_with_fault(mode);
+            assert_identical(
+                &format!("l2 fault seq={seq} bit={bit}"),
+                mode,
+                &reference,
+                &got,
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_l2_chunked_and_mixed_mode_driving() {
+    // Stop/resume at non-boundary cycles leaves unmerged L2 logs in the
+    // cores; resuming in any scheduler must pick them up consistently.
+    let cfg = SlipstreamConfig::cmp_shared_l2();
+    let w = benchmark("vortex", 0.1).unwrap();
+    let reference = run_mode(&w.program, &cfg, ExecMode::Serial, MAX_CYCLES);
+    let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+    p.enable_online_check();
+    p.set_strict(true);
+    let mut budget = 911;
+    let mut i = 0;
+    while !p.halted() {
+        p.run_mode(MODES[i % 3], budget);
+        budget += 911;
+        i += 1;
+    }
+    let got_stats = p.stats();
+    assert_identical(
+        "vortex+l2 mixed-mode chunks",
+        ExecMode::Threaded,
+        &reference,
+        &(p, got_stats),
+    );
+}
+
+#[test]
 fn step_interleaves_with_batch_runs() {
     // `step` (the public single-cycle API) is the serial scheduler one
     // cycle at a time; mixing it with windowed runs must stay identical.

@@ -49,6 +49,7 @@ mod cache;
 mod config;
 mod driver;
 mod drivers;
+mod l2;
 mod pipeline;
 mod stats;
 mod trace;
@@ -57,6 +58,7 @@ pub use cache::{Cache, CacheConfig};
 pub use config::CoreConfig;
 pub use driver::{CoreDriver, DispatchHints, FetchItem};
 pub use drivers::{OracleDriver, StaticDriver};
+pub use l2::{merge_l2_logs, L2Access, L2Config, L2Outcome, L2View};
 pub use pipeline::{Core, FaultSpec};
 pub use stats::CoreStats;
 pub use trace::{EventKind, StreamId, TraceEvent, TraceSink, NO_SEQ};

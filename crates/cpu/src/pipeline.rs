@@ -7,6 +7,7 @@ use slipstream_isa::ExecOut;
 use crate::cache::Cache;
 use crate::config::CoreConfig;
 use crate::driver::{CoreDriver, DispatchHints, FetchItem};
+use crate::l2::{L2Access, L2View};
 use crate::stats::CoreStats;
 use crate::trace::{EventKind, TraceSink, NO_SEQ};
 
@@ -143,6 +144,11 @@ pub struct Core {
     issue_scratch: Vec<usize>,
     /// Busy-until cycle of each miss status holding register.
     mshrs: Vec<u64>,
+    /// This core's deterministic view of the shared L2, when one is
+    /// attached (see [`L2View`]); `None` keeps the flat `miss_penalty`
+    /// memory model. Cloned with the core, so slack-window checkpoints
+    /// capture L2/port state for free.
+    l2: Option<L2View>,
     fault: Option<FaultSpec>,
     halted: bool,
     now: u64,
@@ -177,6 +183,7 @@ impl Core {
             pending_redirect: None,
             unissued: 0,
             issue_scratch: Vec::new(),
+            l2: None,
             fault: None,
             halted: false,
             now: 0,
@@ -261,6 +268,40 @@ impl Core {
         self.rob.len()
     }
 
+    /// Attaches a shared-L2 view: L1 misses (icache, loads, stores) now go
+    /// through the L2 and its bandwidth-limited memory port instead of the
+    /// flat `miss_penalty`. The caller (the slipstream machine) must drain
+    /// the view's access log and call [`Core::l2_apply_boundary`] at every
+    /// sync boundary — the log grows until it does.
+    pub fn attach_l2(&mut self, view: L2View) {
+        self.l2 = Some(view);
+    }
+
+    /// The attached shared-L2 view, if any.
+    pub fn l2(&self) -> Option<&L2View> {
+        self.l2.as_ref()
+    }
+
+    /// This core's L2 accesses logged since the last boundary (empty when
+    /// no L2 is attached).
+    pub fn l2_log(&self) -> &[L2Access] {
+        self.l2.as_ref().map_or(&[], |v| v.log())
+    }
+
+    /// Removes and returns the L2 access log (see [`L2View::take_log`]).
+    pub fn l2_take_log(&mut self) -> Vec<L2Access> {
+        self.l2.as_mut().map(|v| v.take_log()).unwrap_or_default()
+    }
+
+    /// Boundary sync for the shared L2: replays the merged two-core access
+    /// stream onto this core's canonical replica (see
+    /// [`L2View::apply_boundary`]). No-op when no L2 is attached.
+    pub fn l2_apply_boundary(&mut self, merged: &[L2Access]) {
+        if let Some(v) = self.l2.as_mut() {
+            v.apply_boundary(merged);
+        }
+    }
+
     /// Arms a single transient fault (see [`FaultSpec`]). A previously
     /// armed, not-yet-fired fault is replaced.
     pub fn arm_fault(&mut self, fault: FaultSpec) {
@@ -298,6 +339,10 @@ impl Core {
         self.unissued = 0;
         self.spec_regs = self.arch_regs;
         self.halted = false;
+        // A squashed icache miss (or redirect penalty) must not keep the
+        // post-flush fetch stream stalled behind its fill timer; the
+        // recovery latency is re-imposed by `stall_fetch_until`.
+        self.fetch_resume_cycle = self.now;
         self.stats.flushes += 1;
         self.trace_event(EventKind::Flush, NO_SEQ, 0, 0);
         self.last_progress = self.now;
@@ -493,9 +538,35 @@ impl Core {
         self.issue_scratch = to_issue;
     }
 
+    /// Latency of servicing an L1 miss whose request reaches the next
+    /// memory level at `request`: the shared L2 (hit, or port-arbitrated
+    /// memory fill) when one is attached, else the flat `penalty`. Counts
+    /// L2/port stats and trace events on the way.
+    fn next_level_latency(&mut self, request: u64, addr: u64, penalty: u64, seq: u64) -> u64 {
+        if self.l2.is_none() {
+            return penalty;
+        }
+        let out = self
+            .l2
+            .as_mut()
+            .expect("just checked")
+            .access(request, addr);
+        if out.hit {
+            self.stats.l2_hits += 1;
+        } else {
+            self.stats.l2_misses += 1;
+            self.trace_event(EventKind::L2Miss, seq, addr, addr);
+            if out.port_stall > 0 {
+                self.stats.port_stall_cycles += out.port_stall;
+                self.trace_event(EventKind::PortStall, seq, addr, out.port_stall);
+            }
+        }
+        out.ready_at - request
+    }
+
     /// Latency of executing the instruction at ROB index `idx`, or `None`
-    /// when a structural hazard (no free MSHR for a missing load) defers
-    /// issue to a later cycle.
+    /// when a structural hazard (no free MSHR for a missing load or store)
+    /// defers issue to a later cycle.
     fn exec_latency(&mut self, idx: usize) -> Option<u64> {
         let rec = self.rob[idx].rec;
         Some(match rec.instr.kind() {
@@ -504,11 +575,34 @@ impl Core {
             InstrKind::Mul => self.cfg.mul_latency,
             InstrKind::Div => self.cfg.div_latency,
             InstrKind::Store => {
-                // Stores only need address generation before retirement;
-                // the write happens at retire. Probe the cache now for
-                // allocation statistics (write-allocate).
+                // Stores only need address generation before retirement
+                // (write-buffer semantics: the write happens at retire),
+                // but a write-allocate miss still brings the line in — the
+                // fill occupies an MSHR like any other miss, and issue
+                // defers while all MSHRs are busy. Retirement itself never
+                // waits on the fill.
                 if let Some(m) = rec.mem {
-                    if !self.dcache.access(m.addr) {
+                    if self.dcache.probe(m.addr) {
+                        self.dcache.access(m.addr); // update LRU
+                    } else {
+                        if !self.mshrs.iter().any(|b| *b <= self.now) {
+                            return None;
+                        }
+                        let req = self.now + self.cfg.agen_latency + self.cfg.mem_latency;
+                        let fill = self.next_level_latency(
+                            req,
+                            m.addr,
+                            self.cfg.dcache.miss_penalty,
+                            rec.seq,
+                        );
+                        let done = req + fill;
+                        let slot = self
+                            .mshrs
+                            .iter_mut()
+                            .find(|b| **b <= self.now)
+                            .expect("checked above");
+                        *slot = done;
+                        self.dcache.access(m.addr); // allocate the line
                         self.stats.dcache_misses += 1;
                         self.trace_event(EventKind::DcacheMiss, rec.seq, rec.pc, m.addr);
                     }
@@ -526,15 +620,28 @@ impl Core {
                     .iter()
                     .any(|st| st.rob_id < id && overlaps(st, m));
                 if forwarded || self.dcache.probe(m.addr) {
-                    if !forwarded {
+                    // A forwarded load still touches a resident line's LRU
+                    // state (the access happened, only the data came from
+                    // the store queue); it does not fill on a miss — no
+                    // memory access occurred.
+                    if self.dcache.probe(m.addr) {
                         self.dcache.access(m.addr); // update LRU
                     }
                     self.cfg.agen_latency + self.cfg.mem_latency
                 } else {
                     // A miss needs a free miss status holding register.
-                    let slot = self.mshrs.iter_mut().find(|b| **b <= self.now)?;
-                    let lat =
-                        self.cfg.agen_latency + self.cfg.mem_latency + self.cfg.dcache.miss_penalty;
+                    if !self.mshrs.iter().any(|b| *b <= self.now) {
+                        return None;
+                    }
+                    let req = self.now + self.cfg.agen_latency + self.cfg.mem_latency;
+                    let fill =
+                        self.next_level_latency(req, m.addr, self.cfg.dcache.miss_penalty, rec.seq);
+                    let lat = self.cfg.agen_latency + self.cfg.mem_latency + fill;
+                    let slot = self
+                        .mshrs
+                        .iter_mut()
+                        .find(|b| **b <= self.now)
+                        .expect("checked above");
                     *slot = self.now + lat;
                     self.dcache.access(m.addr); // allocate the line
                     self.stats.dcache_misses += 1;
@@ -784,7 +891,13 @@ impl Core {
             if probed_line != Some(line) {
                 if !self.icache.access(item.pc) {
                     self.stats.icache_misses += 1;
-                    self.fetch_resume_cycle = self.now + self.cfg.icache.miss_penalty;
+                    let fill = self.next_level_latency(
+                        self.now,
+                        item.pc,
+                        self.cfg.icache.miss_penalty,
+                        NO_SEQ,
+                    );
+                    self.fetch_resume_cycle = self.now + fill;
                     self.trace_event(EventKind::IcacheMiss, NO_SEQ, item.pc, 0);
                     self.pending_fetch = Some(item);
                     break;

@@ -25,6 +25,12 @@ pub struct CoreStats {
     pub icache_misses: u64,
     /// Data-cache line misses.
     pub dcache_misses: u64,
+    /// L1 misses that hit in the shared L2 (always 0 without an L2).
+    pub l2_hits: u64,
+    /// L1 misses that missed the shared L2 and filled from memory.
+    pub l2_misses: u64,
+    /// Cycles L2 fills spent queued for a free memory-port slot.
+    pub port_stall_cycles: u64,
     /// Cycles dispatch was blocked because the reorder buffer was full.
     pub rob_full_cycles: u64,
     /// Cycles dispatch was blocked because the issue queue was full.
@@ -86,6 +92,11 @@ impl CoreStats {
                 .saturating_sub(earlier.jump_mispredicts),
             icache_misses: self.icache_misses.saturating_sub(earlier.icache_misses),
             dcache_misses: self.dcache_misses.saturating_sub(earlier.dcache_misses),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            port_stall_cycles: self
+                .port_stall_cycles
+                .saturating_sub(earlier.port_stall_cycles),
             rob_full_cycles: self.rob_full_cycles.saturating_sub(earlier.rob_full_cycles),
             iq_full_cycles: self.iq_full_cycles.saturating_sub(earlier.iq_full_cycles),
             fetch_stall_cycles: self
@@ -130,6 +141,9 @@ impl CoreStats {
             jump_mispredicts: self.jump_mispredicts + other.jump_mispredicts,
             icache_misses: self.icache_misses + other.icache_misses,
             dcache_misses: self.dcache_misses + other.dcache_misses,
+            l2_hits: self.l2_hits + other.l2_hits,
+            l2_misses: self.l2_misses + other.l2_misses,
+            port_stall_cycles: self.port_stall_cycles + other.port_stall_cycles,
             rob_full_cycles: self.rob_full_cycles + other.rob_full_cycles,
             iq_full_cycles: self.iq_full_cycles + other.iq_full_cycles,
             fetch_stall_cycles: self.fetch_stall_cycles + other.fetch_stall_cycles,
@@ -177,6 +191,9 @@ mod tests {
             jump_mispredicts: 1,
             icache_misses: 2,
             dcache_misses: 7,
+            l2_hits: 5,
+            l2_misses: 2,
+            port_stall_cycles: 30,
             rob_full_cycles: 11,
             iq_full_cycles: 4,
             fetch_stall_cycles: 9,
@@ -196,6 +213,9 @@ mod tests {
             jump_mispredicts: 2,
             icache_misses: 2,
             dcache_misses: 12,
+            l2_hits: 9,
+            l2_misses: 3,
+            port_stall_cycles: 75,
             rob_full_cycles: 20,
             iq_full_cycles: 6,
             fetch_stall_cycles: 15,
@@ -215,6 +235,9 @@ mod tests {
         assert_eq!(d.jump_mispredicts, 1);
         assert_eq!(d.icache_misses, 0);
         assert_eq!(d.dcache_misses, 5);
+        assert_eq!(d.l2_hits, 4);
+        assert_eq!(d.l2_misses, 1);
+        assert_eq!(d.port_stall_cycles, 45);
         assert_eq!(d.rob_full_cycles, 9);
         assert_eq!(d.iq_full_cycles, 2);
         assert_eq!(d.fetch_stall_cycles, 6);

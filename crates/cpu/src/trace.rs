@@ -70,6 +70,12 @@ pub enum EventKind {
     IcacheMiss,
     /// Data-cache line miss. `arg` = the missing address.
     DcacheMiss,
+    /// Shared-L2 miss (the line fills from memory). `arg` = the missing
+    /// address.
+    L2Miss,
+    /// An L2 fill waited for a free memory-port slot. `arg` = the number
+    /// of cycles it queued.
+    PortStall,
     /// External pipeline flush (slipstream recovery squashed everything).
     Flush,
     /// The armed transient fault fired. `arg` = the flipped bit.
@@ -108,6 +114,8 @@ impl EventKind {
             EventKind::JumpMispredict => "jump-mispredict",
             EventKind::IcacheMiss => "icache-miss",
             EventKind::DcacheMiss => "dcache-miss",
+            EventKind::L2Miss => "l2-miss",
+            EventKind::PortStall => "port-stall",
             EventKind::Flush => "flush",
             EventKind::FaultFired => "fault-fired",
             EventKind::Removed => "removed",

@@ -217,3 +217,153 @@ fn structural_limits_never_change_results() {
         assert_eq!(core.mem().first_difference(gold.mem()), None);
     }
 }
+
+/// Streaming store misses: a store whose line misses must claim an MSHR
+/// for its fill just like a load miss, so one MSHR serializes the write
+/// stream while eight overlap it. (Store misses used to bypass the MSHR
+/// file entirely, giving stores unbounded memory-level parallelism.)
+#[test]
+fn store_misses_consume_mshrs() {
+    let src = r#"
+        li r1, 0x100000
+        li r3, 7
+        li r2, 2048
+    loop:
+        st r3, 0(r1)
+        st r3, 64(r1)
+        st r3, 128(r1)
+        st r3, 192(r1)
+        addi r1, r1, 256
+        addi r2, r2, -4
+        bne r2, r0, loop
+        halt
+    "#;
+    let p = assemble(src).unwrap();
+    let mut one = CoreConfig::ss_64x4();
+    one.mshr_count = 1;
+    let (c_one, _) = run(one, &p);
+    let mut eight = CoreConfig::ss_64x4();
+    eight.mshr_count = 8;
+    let (c_eight, _) = run(eight, &p);
+    assert_eq!(c_one.stats().dcache_misses, 2048);
+    assert_eq!(c_eight.stats().dcache_misses, 2048);
+    assert!(
+        c_one.stats().cycles > c_eight.stats().cycles * 2,
+        "1 MSHR ({}) must serialize store fills vs 8 ({})",
+        c_one.stats().cycles,
+        c_eight.stats().cycles
+    );
+    assert_eq!(c_one.arch_regs(), c_eight.arch_regs());
+    assert_eq!(c_one.mem().first_difference(c_eight.mem()), None);
+}
+
+/// A load that forwards from an in-flight store still *uses* its cache
+/// line, so it must refresh that line's LRU position when the line is
+/// resident. The set below holds lines A,B,C,D with A least-recent; a
+/// forwarded load to A (timed, via a divide chain, to issue while the
+/// store is still queued and after B/C/D filled) must make A most-recent,
+/// so the next same-set fill evicts B and a final load of A still hits.
+#[test]
+fn forwarded_loads_refresh_dcache_lru() {
+    // dcache: 64 KB, 4-way, 64 B lines = 256 sets; addresses 0x4000 apart
+    // map to the same set. A=r1, B=r1+0x4000, C=r1-0x4000, D=r1-0x8000,
+    // E=r9=r1+0x10000 — all set 0.
+    let src = r#"
+        li r1, 0x100000
+        li r9, 0x110000
+        li r2, 77
+        li r20, 5
+        li r21, 1
+        li r3, 9
+        ld r10, 0(r1)
+        div r20, r20, r21
+        div r20, r20, r21
+        div r20, r20, r21
+        div r20, r20, r21
+        div r20, r20, r21
+        div r20, r20, r21
+        div r20, r20, r21
+        div r20, r20, r21
+        div r20, r20, r21
+        div r20, r20, r21
+        st r2, 0(r1)
+        ld r11, 16384(r1)
+        ld r12, -16384(r1)
+        ld r13, -32768(r1)
+        div r3, r3, r21
+        div r3, r3, r21
+        div r3, r3, r21
+        div r3, r3, r21
+        xor r6, r3, r3
+        add r5, r6, r1
+        ld r14, 0(r5)
+        xor r7, r14, r14
+        add r7, r7, r9
+        ld r15, 0(r7)
+        xor r8, r15, r15
+        add r8, r8, r1
+        ld r16, 32(r8)
+        halt
+    "#;
+    // Timeline: the ten-divide chain (~120 cycles) keeps the store
+    // unretired (and thus forwardable) long past the four-divide chain
+    // (~50 cycles) that delays the forwarded load's address; B/C/D fill
+    // within the first few cycles. So at the forwarded load's issue the
+    // set is {A,B,C,D} with A least-recent, and E's fill picks the victim.
+    let p = assemble(src).unwrap();
+    let (c, _) = run(CoreConfig::ss_64x4(), &p);
+    assert_eq!(c.arch_reg(Reg::new(14)), 77, "load must forward the store");
+    assert_eq!(
+        c.arch_reg(Reg::new(16)),
+        0,
+        "final reload reads untouched bytes"
+    );
+    // Misses: A, B, C, D, E — and *not* the final reload of A, because the
+    // forwarded load refreshed A's recency and E evicted B instead.
+    assert_eq!(
+        c.stats().dcache_misses,
+        5,
+        "forwarded load must keep A resident (a 6th miss means A was evicted)"
+    );
+}
+
+/// A flush while an instruction-cache fill is outstanding must not leave
+/// the post-flush fetch stream stalled behind the squashed fill timer:
+/// recovery resumes fetch immediately (any recovery-pipeline latency is
+/// re-imposed explicitly via `stall_fetch_until`).
+#[test]
+fn flush_clears_squashed_icache_fill_timer() {
+    let pad = "nop\n".repeat(40); // pushes `far` onto a distant icache line
+    let src = format!("j far\n{pad}far:\nli r2, 20\nhalt");
+    let p = assemble(&src).unwrap();
+    let mut cfg = CoreConfig::ss_64x4();
+    cfg.icache.miss_penalty = 50;
+    let mut core = Core::new(cfg, p.initial_memory());
+    let mut d = OracleDriver::new(&p);
+    let mut retired = Vec::new();
+    // Run until the far line's 50-cycle fill is outstanding (miss #1 is
+    // the entry line, miss #2 the far line).
+    while core.stats().icache_misses < 2 {
+        core.cycle(&mut d, &mut retired);
+        assert!(core.now() < 1000, "never reached the far-line miss");
+    }
+    let flushed_at = core.now();
+    core.flush();
+    // Both lines were allocated when their misses were recorded, so a
+    // fresh oracle walk from the entry should now run miss-free — unless
+    // the squashed fill timer is still holding fetch.
+    let mut d2 = OracleDriver::new(&p);
+    while !core.halted() {
+        core.cycle(&mut d2, &mut retired);
+        assert!(
+            core.now() < flushed_at + 400,
+            "post-flush fetch never resumed"
+        );
+    }
+    assert_eq!(core.arch_reg(Reg::new(2)), 20);
+    assert!(
+        core.now() - flushed_at < 25,
+        "fetch stayed stalled {} cycles after the flush",
+        core.now() - flushed_at
+    );
+}
