@@ -1,9 +1,11 @@
 //! Figure 6: % IPC improvement of the CMP(2x64x4) slipstream processor
-//! over the SS(64x4) baseline, per benchmark.
+//! over the SS(64x4) baseline, per benchmark. Also re-emits the committed
+//! `BENCH_fig6.json` anchor (see `tests/figure_drift.rs`).
 
-use slipstream_bench::{evaluate_suite, print_fig6};
+use slipstream_bench::{evaluate_suite, fig6_json, print_fig6, write_figure_doc};
 
 fn main() {
     let rows = evaluate_suite(1.0);
     print_fig6(&rows);
+    write_figure_doc("BENCH_fig6.json", &fig6_json(&rows, 1.0));
 }

@@ -1,8 +1,11 @@
 //! Figure 7: % IPC improvement of SS(128x8) over SS(64x4), per benchmark.
+//! Also re-emits the committed `BENCH_fig7.json` anchor (see
+//! `tests/figure_drift.rs`).
 
-use slipstream_bench::{evaluate_suite, print_fig7};
+use slipstream_bench::{evaluate_suite, fig7_json, print_fig7, write_figure_doc};
 
 fn main() {
     let rows = evaluate_suite(1.0);
     print_fig7(&rows);
+    write_figure_doc("BENCH_fig7.json", &fig7_json(&rows, 1.0));
 }

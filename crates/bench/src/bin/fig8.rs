@@ -1,9 +1,11 @@
 //! Figure 8: breakdown of removed A-stream instructions by reason, under
-//! the full removal policy (top) and branches-only (bottom).
+//! the full removal policy (top) and branches-only (bottom). Also re-emits
+//! the committed `BENCH_fig8.json` anchor (see `tests/figure_drift.rs`).
 
-use slipstream_bench::{evaluate_suite, print_fig8};
+use slipstream_bench::{evaluate_suite, fig8_json, print_fig8, write_figure_doc};
 
 fn main() {
     let rows = evaluate_suite(1.0);
     print_fig8(&rows);
+    write_figure_doc("BENCH_fig8.json", &fig8_json(&rows, 1.0));
 }

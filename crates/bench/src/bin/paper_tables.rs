@@ -6,8 +6,9 @@
 //! ```
 
 use slipstream_bench::{
-    evaluate_suite, fault_campaign, print_campaign, print_fig6, print_fig7, print_fig8,
-    print_table1, print_table3,
+    evaluate_suite, fault_campaign, fig6_json, fig7_json, fig8_json, paper_tables_json,
+    print_campaign, print_fig6, print_fig7, print_fig8, print_table1, print_table3,
+    write_figure_doc,
 };
 use slipstream_core::FaultTarget;
 
@@ -20,6 +21,14 @@ fn main() {
     print_fig7(&rows);
     print_fig8(&rows);
     print_table3(&rows);
+    if scale == 1.0 {
+        // Re-anchor the committed figure documents (only at the canonical
+        // scale, so a quick reduced-scale run can't clobber them).
+        write_figure_doc("BENCH_fig6.json", &fig6_json(&rows, scale));
+        write_figure_doc("BENCH_fig7.json", &fig7_json(&rows, scale));
+        write_figure_doc("BENCH_fig8.json", &fig8_json(&rows, scale));
+        write_figure_doc("BENCH_paper_tables.json", &paper_tables_json(&rows, scale));
+    }
 
     eprintln!("running fault-injection campaigns ...");
     println!("Section 3 / Figure 5: transient-fault scenarios (m88ksim analogue).");

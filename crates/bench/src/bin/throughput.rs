@@ -31,8 +31,61 @@
 //!   simulation speed against the committed file, after normalizing by
 //!   the calibration row's host-speed ratio, and fails loudly if any
 //!   shared model has slowed beyond the tolerance.
+//!
+//! The binary also runs an *allocation gate*: the whole process runs
+//! under a counting global allocator, and a pair of fixed-size
+//! slack-window runs measures the marginal heap allocations per 10k
+//! retired instructions in steady state (the two-point measurement
+//! cancels one-time construction cost). The number is written to
+//! `BENCH_throughput.json`, and `--smoke` fails if it rises past the
+//! committed ceiling — allocation counts are deterministic, so this gate
+//! needs no host-speed normalization.
 
 use std::time::Instant;
+
+/// Counting wrapper over the system allocator: every allocation path
+/// (fresh, zeroed, and growth via realloc) bumps one relaxed counter.
+/// Deallocation is free-of-charge — the gate cares about allocator
+/// pressure on the hot path, which frees alone do not create.
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every allocation to `System`, which upholds the
+    // GlobalAlloc contract; the counter increment has no other effect.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    /// Total allocation calls since process start.
+    pub fn calls() -> u64 {
+        CALLS.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 use slipstream_bench::{json, MAX_CYCLES};
 use slipstream_core::{run_superscalar, ExecMode, SlipstreamConfig, SlipstreamProcessor};
@@ -50,6 +103,17 @@ const SMOKE_TOLERANCE: f64 = 1.5;
 /// broken calibration row, not a slower machine) and clamped so they
 /// cannot mask a real regression entirely.
 const HOST_RATIO_BAND: (f64, f64) = (0.25, 4.0);
+
+/// The allocation gate's two fixed workload sizes. Both run regardless of
+/// the harness `scale` argument, so the committed ceiling and the smoke
+/// measurement always describe identical simulations.
+const ALLOC_GATE_SCALES: (f64, f64) = (0.05, 0.25);
+
+/// Absolute slack (allocs per 10k retired) added on top of the committed
+/// ceiling before `--smoke` fails. The steady-state rate is close to zero
+/// by design, so a pure multiplicative tolerance would make the gate
+/// hair-trigger on standard-library noise.
+const ALLOC_GATE_SLACK: f64 = 5.0;
 
 /// One timed simulation: what ran, how much it simulated, how long it took.
 struct Measurement {
@@ -138,6 +202,46 @@ fn calibration(reps: u32) -> Measurement {
         l2_misses: 0,
         port_stall_cycles: 0,
     }
+}
+
+/// One allocation-gate probe: runs the slack-window model on the gate
+/// workload at `scale` and returns (allocation calls, retired
+/// instructions on both cores).
+fn alloc_gate_run(scale: f64) -> (u64, u64) {
+    let workloads = suite(scale);
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "m88ksim")
+        .unwrap_or(&workloads[0]);
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let before = alloc_counter::calls();
+    let mut proc = SlipstreamProcessor::new(cfg, &w.program);
+    assert!(
+        proc.run_mode(ExecMode::Windowed, MAX_CYCLES),
+        "{}: allocation-gate run did not complete",
+        w.name
+    );
+    let stats = proc.stats();
+    (
+        alloc_counter::calls() - before,
+        stats.a_retired + stats.r_retired,
+    )
+}
+
+/// Marginal heap allocations per 10k retired instructions: the slope
+/// between a short and a longer run of the same workload. One-time costs
+/// (processor construction, container growth to steady-state capacity)
+/// appear in both runs and cancel, leaving the per-instruction rate the
+/// zero-copy retire path is supposed to hold near zero.
+fn alloc_gate_per_10k() -> f64 {
+    let (short_allocs, short_instrs) = alloc_gate_run(ALLOC_GATE_SCALES.0);
+    let (long_allocs, long_instrs) = alloc_gate_run(ALLOC_GATE_SCALES.1);
+    assert!(
+        long_instrs > short_instrs,
+        "allocation gate needs the longer run to retire more instructions"
+    );
+    let marginal = long_allocs.saturating_sub(short_allocs);
+    marginal as f64 * 10_000.0 / (long_instrs - short_instrs) as f64
 }
 
 fn measure(
@@ -245,6 +349,21 @@ fn committed_model_totals(doc: &str) -> Vec<(String, u64, f64)> {
     totals
 }
 
+/// Extracts the committed allocation-gate ceiling from a
+/// `BENCH_throughput.json` document, if it has one.
+fn committed_alloc_ceiling(doc: &str) -> Option<f64> {
+    for line in doc.lines() {
+        if let Some(rest) = line
+            .trim_start()
+            .strip_prefix("\"alloc_per_10k_retired\": ")
+        {
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            return rest[..end].trim().parse().ok();
+        }
+    }
+    None
+}
+
 fn main() {
     let mut scale: Option<f64> = None;
     let mut reps: Option<u32> = None;
@@ -336,6 +455,16 @@ fn main() {
         }
     }
 
+    // The allocation gate runs after the timed rows so its extra runs
+    // cannot perturb the timing measurements, and at fixed workload sizes
+    // so its value is comparable across scales (and hosts: allocation
+    // counts are deterministic).
+    let alloc_per_10k = alloc_gate_per_10k();
+    println!(
+        "alloc-gate  {:<20} {alloc_per_10k:>12.2} marginal heap allocs / 10k retired",
+        "slipstream-window"
+    );
+
     if smoke {
         // Regression gate: compare per-model simulation speed against the
         // committed baseline file instead of overwriting it.
@@ -399,6 +528,27 @@ fn main() {
             }
         }
         assert!(checked > 0, "no committed model matched a measured model");
+        // Allocation gate: unlike the speed floors this needs no host
+        // normalization — the simulation (and hence its allocation trace)
+        // is deterministic, so the ceiling transfers across machines.
+        match committed_alloc_ceiling(&doc) {
+            Some(ceiling) => {
+                let limit = ceiling * SMOKE_TOLERANCE + ALLOC_GATE_SLACK;
+                println!(
+                    "smoke       alloc-gate           measured {alloc_per_10k:>12.2} \
+                     allocs/10k, committed {ceiling:>12.2} (limit {limit:.2})"
+                );
+                if alloc_per_10k > limit {
+                    failures.push(format!(
+                        "alloc-gate: {alloc_per_10k:.2} heap allocs per 10k retired \
+                         instrs exceeds {limit:.2} (committed {ceiling:.2} x tolerance \
+                         {SMOKE_TOLERANCE} + slack {ALLOC_GATE_SLACK})"
+                    ));
+                }
+            }
+            // Committed file predates the gate: nothing to compare yet.
+            None => println!("smoke       no committed alloc_per_10k_retired; gate skipped"),
+        }
         assert!(
             failures.is_empty(),
             "simulator throughput regression:\n  {}",
@@ -438,8 +588,10 @@ fn main() {
         }),
         2,
     );
+    let alloc_json = json::f64_fixed(alloc_per_10k, 2);
     let doc = format!(
-        "{{\n  \"scale\": {scale},\n  \"reps\": {reps},\n  \"rows\": {rows_json},\n  \
+        "{{\n  \"scale\": {scale},\n  \"reps\": {reps},\n  \
+         \"alloc_per_10k_retired\": {alloc_json},\n  \"rows\": {rows_json},\n  \
          \"model_totals\": {totals_json}\n}}\n"
     );
     std::fs::write("BENCH_throughput.json", doc).expect("write BENCH_throughput.json");

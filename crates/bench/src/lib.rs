@@ -244,6 +244,124 @@ pub fn print_fig8(rows: &[BenchRow]) {
     println!();
 }
 
+// ---- committed figure documents (BENCH_fig*.json) ------------------------
+//
+// Every paper figure/table is also emitted as a deterministic JSON
+// document and committed at the repo root; `tests/figure_drift.rs`
+// regenerates them and fails if simulated timing drifts from the
+// committed anchors without the files being re-committed.
+
+/// Document header shared by the figure JSONs.
+fn figure_doc(scale: f64, rows_json: String, trailer: Option<(&str, String)>) -> String {
+    let mut out = format!("{{\n  \"scale\": {scale},\n  \"rows\": {rows_json}");
+    if let Some((key, value)) = trailer {
+        out.push_str(&format!(",\n  \"{key}\": {value}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Figure 6 as the committed `BENCH_fig6.json` document.
+pub fn fig6_json(rows: &[BenchRow], scale: f64) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json::Obj::new()
+                .str("bench", r.name)
+                .f64("ss64_ipc", r.ss64.ipc(), 4)
+                .f64("slip_ipc", r.slip.ipc, 4)
+                .f64("improvement_pct", r.fig6_improvement(), 2)
+                .f64("removal_pct", 100.0 * r.slip.removal_fraction, 2)
+                .finish()
+        })
+        .collect();
+    let avg = rows.iter().map(BenchRow::fig6_improvement).sum::<f64>() / rows.len().max(1) as f64;
+    figure_doc(
+        scale,
+        json::array(&rendered, 2),
+        Some(("average_improvement_pct", json::f64_fixed(avg, 2))),
+    )
+}
+
+/// Figure 7 as the committed `BENCH_fig7.json` document.
+pub fn fig7_json(rows: &[BenchRow], scale: f64) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json::Obj::new()
+                .str("bench", r.name)
+                .f64("ss64_ipc", r.ss64.ipc(), 4)
+                .f64("ss128_ipc", r.ss128.ipc(), 4)
+                .f64("improvement_pct", r.fig7_improvement(), 2)
+                .finish()
+        })
+        .collect();
+    let avg = rows.iter().map(BenchRow::fig7_improvement).sum::<f64>() / rows.len().max(1) as f64;
+    figure_doc(
+        scale,
+        json::array(&rendered, 2),
+        Some(("average_improvement_pct", json::f64_fixed(avg, 2))),
+    )
+}
+
+/// One Figure 8 breakdown as an inline JSON array of category objects.
+fn breakdown_json(stats: &SlipstreamStats) -> String {
+    json::inline_array(removal_breakdown(stats).iter().map(|(label, pct)| {
+        json::Obj::new()
+            .str("category", label)
+            .f64("pct", *pct, 2)
+            .finish()
+    }))
+}
+
+/// Figure 8 (both panels) as the committed `BENCH_fig8.json` document.
+pub fn fig8_json(rows: &[BenchRow], scale: f64) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json::Obj::new()
+                .str("bench", r.name)
+                .f64("all_triggers_pct", 100.0 * r.slip.removal_fraction, 2)
+                .raw("all_triggers", breakdown_json(&r.slip))
+                .f64("branches_only_pct", 100.0 * r.slip_br.removal_fraction, 2)
+                .raw("branches_only", breakdown_json(&r.slip_br))
+                .finish()
+        })
+        .collect();
+    figure_doc(scale, json::array(&rendered, 2), None)
+}
+
+/// Tables 1 and 3 as the committed `BENCH_paper_tables.json` document.
+pub fn paper_tables_json(rows: &[BenchRow], scale: f64) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json::Obj::new()
+                .str("bench", r.name)
+                .raw("dynamic_instructions", r.dynamic)
+                .f64("ss64_ipc", r.ss64.ipc(), 4)
+                .f64(
+                    "ss64_branch_misp_per_kilo",
+                    r.ss64.core.branch_mispredicts_per_kilo(),
+                    4,
+                )
+                .f64("cmp_branch_misp_per_kilo", r.slip.branch_misp_per_kilo, 4)
+                .f64("ir_misp_per_kilo", r.slip.ir_misp_per_kilo, 4)
+                .f64("avg_ir_penalty_cycles", r.slip.avg_ir_penalty, 2)
+                .finish()
+        })
+        .collect();
+    figure_doc(scale, json::array(&rendered, 2), None)
+}
+
+/// Writes `text` to `name` in the current directory (the convention all
+/// `BENCH_*.json` emitters follow) after self-validating it as JSON.
+pub fn write_figure_doc(name: &str, text: &str) {
+    json::validate(text).unwrap_or_else(|e| panic!("{name}: emitted invalid JSON: {e}"));
+    std::fs::write(name, text).unwrap_or_else(|e| panic!("write {name}: {e}"));
+    eprintln!("wrote {name}");
+}
+
 /// Table 3: misprediction measurements.
 pub fn print_table3(rows: &[BenchRow]) {
     println!("Table 3: Misprediction measurements.");

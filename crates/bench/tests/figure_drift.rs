@@ -1,0 +1,36 @@
+//! Figure-drift gate: the committed `BENCH_fig6/7/8.json` and
+//! `BENCH_paper_tables.json` anchors at the repo root must match what the
+//! current simulator regenerates at the canonical scale. Any change that
+//! shifts simulated timing — intentionally or not — fails here until the
+//! anchors are re-committed (`cargo run --release -p slipstream-bench
+//! --bin paper_tables`), so the paper's figures can never silently drift
+//! from the code that claims to reproduce them.
+
+use std::fs;
+use std::path::Path;
+
+use slipstream_bench::{evaluate_suite, fig6_json, fig7_json, fig8_json, paper_tables_json};
+
+#[test]
+fn committed_figure_documents_match_regeneration() {
+    let rows = evaluate_suite(1.0);
+    let docs = [
+        ("BENCH_fig6.json", fig6_json(&rows, 1.0)),
+        ("BENCH_fig7.json", fig7_json(&rows, 1.0)),
+        ("BENCH_fig8.json", fig8_json(&rows, 1.0)),
+        ("BENCH_paper_tables.json", paper_tables_json(&rows, 1.0)),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for (name, regenerated) in docs {
+        let path = root.join(name);
+        let committed = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{name} missing at the repo root ({e}); run the paper_tables binary")
+        });
+        assert_eq!(
+            regenerated, committed,
+            "{name} drifted from the committed anchor — if the timing change is \
+             intentional, re-commit it via `cargo run --release -p slipstream-bench \
+             --bin paper_tables`"
+        );
+    }
+}

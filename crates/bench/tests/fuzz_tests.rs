@@ -147,5 +147,5 @@ fn real_invariants_hold_on_sampled_seeds() {
 fn checked_in_corpus_replays_clean() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
     let n = replay_corpus_dir(&dir).expect("corpus must replay clean");
-    assert!(n >= 3, "expected the seed corpus entries, found {n}");
+    assert!(n >= 5, "expected the seed corpus entries, found {n}");
 }

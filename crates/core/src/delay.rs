@@ -79,10 +79,42 @@ pub struct TraceCommit {
     pub used_vec: u32,
 }
 
+/// Recycled chunk allocations kept beyond this are dropped. The pool must
+/// cover the peak chunk population — every buffered chunk (one per
+/// producing cycle while the R-stream lags, so up to the data capacity in
+/// the worst case) plus the `CycleBatch` vectors in circulation. A tight
+/// cap makes occupancy swings drop and re-grow chunk buffers in a steady
+/// churn; chunks are small (a cycle's retirement burst), so retaining the
+/// worst-case population outright is cheaper.
+const SPARE_CHUNKS: usize = 512;
+
+/// Recycled chunks are topped up to this capacity so a buffer that sealed
+/// small (a quiet cycle) doesn't re-grow through doubling the next time it
+/// lands on a full-width retirement burst. One reserve per buffer,
+/// amortized to zero once the pool saturates.
+const CHUNK_MIN_CAP: usize = 128;
+
 /// The FIFO connecting the two streams.
+///
+/// Storage is *chunked*: the R-side consumer donates each cycle's batch of
+/// entries as a whole `Vec` via [`DelayBuffer::push_chunk`] — a pointer
+/// swap, not a per-entry copy (a [`DelayEntry`] is ~112 bytes) — and gets a
+/// recycled empty allocation back. Single-entry [`DelayBuffer::push`] still
+/// works (tests, hand-fed drivers) through an open tail chunk that is
+/// sealed lazily. FIFO order and the data/control occupancy counters are
+/// exactly those of the old flat deque.
 #[derive(Debug, Default)]
 pub struct DelayBuffer {
-    entries: VecDeque<DelayEntry>,
+    /// Closed chunks in FIFO order; every stored chunk is non-empty.
+    chunks: VecDeque<Vec<DelayEntry>>,
+    /// Read cursor into `chunks.front()`.
+    head: usize,
+    /// Open chunk receiving singleton pushes.
+    tail: Vec<DelayEntry>,
+    /// Consumed chunk allocations awaiting reuse.
+    spare: Vec<Vec<DelayEntry>>,
+    /// Total entries buffered (all chunks + tail).
+    len: usize,
     commits: VecDeque<TraceCommit>,
     data_cap: usize,
     control_cap: usize,
@@ -97,12 +129,33 @@ impl DelayBuffer {
     /// control pairs = 128 by default).
     pub fn new(data_cap: usize, control_cap: usize) -> DelayBuffer {
         DelayBuffer {
-            entries: VecDeque::new(),
+            chunks: VecDeque::new(),
+            head: 0,
+            tail: Vec::new(),
+            spare: Vec::new(),
+            len: 0,
             commits: VecDeque::new(),
             data_cap,
             control_cap,
             data_count: 0,
             control_count: 0,
+        }
+    }
+
+    fn recycle(&mut self, mut chunk: Vec<DelayEntry>) {
+        if self.spare.len() < SPARE_CHUNKS {
+            chunk.clear();
+            if chunk.capacity() < CHUNK_MIN_CAP {
+                chunk.reserve(CHUNK_MIN_CAP);
+            }
+            self.spare.push(chunk);
+        }
+    }
+
+    fn seal_tail(&mut self) {
+        if !self.tail.is_empty() {
+            let chunk = std::mem::replace(&mut self.tail, self.spare.pop().unwrap_or_default());
+            self.chunks.push_back(chunk);
         }
     }
 
@@ -131,12 +184,12 @@ impl DelayBuffer {
 
     /// Entries currently queued.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether no entries are queued.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Appends one entry (capacity is the *caller's* responsibility — the
@@ -150,7 +203,30 @@ impl DelayBuffer {
         if e.ends_trace {
             self.control_count += 1;
         }
-        self.entries.push_back(e);
+        self.len += 1;
+        self.tail.push(e);
+    }
+
+    /// Appends every entry of `batch` by *taking the allocation* — `batch`
+    /// comes back empty, holding a recycled buffer ready for refilling.
+    /// Equivalent to `for &e in batch { self.push(e) }` without the
+    /// per-entry copies.
+    pub fn push_chunk(&mut self, batch: &mut Vec<DelayEntry>) {
+        if batch.is_empty() {
+            return;
+        }
+        for e in batch.iter() {
+            if !e.skipped {
+                self.data_count += 1;
+            }
+            if e.ends_trace {
+                self.control_count += 1;
+            }
+        }
+        self.len += batch.len();
+        self.seal_tail();
+        let chunk = std::mem::replace(batch, self.spare.pop().unwrap_or_default());
+        self.chunks.push_back(chunk);
     }
 
     /// Records a completed-trace commit (control-flow side bookkeeping for
@@ -161,7 +237,21 @@ impl DelayBuffer {
 
     /// Next entry for the R-stream, if any.
     pub fn pop(&mut self) -> Option<DelayEntry> {
-        let e = self.entries.pop_front()?;
+        if self.chunks.is_empty() {
+            if self.tail.is_empty() {
+                return None;
+            }
+            self.seal_tail();
+        }
+        let front = self.chunks.front().expect("sealed a non-empty chunk");
+        let e = front[self.head];
+        self.head += 1;
+        if self.head == front.len() {
+            let done = self.chunks.pop_front().expect("checked nonempty");
+            self.recycle(done);
+            self.head = 0;
+        }
+        self.len -= 1;
         if !e.skipped {
             self.data_count -= 1;
         }
@@ -169,6 +259,16 @@ impl DelayBuffer {
             self.control_count -= 1;
         }
         Some(e)
+    }
+
+    /// Iterates the queued entries in FIFO order (test/diagnostic use —
+    /// the hot paths never walk the buffer).
+    pub fn iter(&self) -> impl Iterator<Item = &DelayEntry> + '_ {
+        self.chunks
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, c)| c[if i == 0 { self.head } else { 0 }..].iter())
+            .chain(self.tail.iter())
     }
 
     /// Oldest unconsumed trace commit.
@@ -183,7 +283,12 @@ impl DelayBuffer {
 
     /// Discards everything (IR-misprediction recovery flushes the buffer).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        while let Some(chunk) = self.chunks.pop_front() {
+            self.recycle(chunk);
+        }
+        self.head = 0;
+        self.tail.clear();
+        self.len = 0;
         self.commits.clear();
         self.data_count = 0;
         self.control_count = 0;
@@ -344,6 +449,37 @@ mod tests {
         assert_eq!(drained[0].id.start_pc, 8);
         assert_eq!(db.len(), 1, "entries untouched by commit draining");
         assert_eq!(db.control_occupancy(), 1);
+    }
+
+    #[test]
+    fn push_chunk_takes_the_allocation_and_preserves_fifo_order() {
+        let mut db = DelayBuffer::new(8, 8);
+        db.push(exec_entry(0, false)); // opens the tail chunk
+        let mut batch = vec![
+            exec_entry(4, true),
+            DelayEntry::skipped(8, Instr::Nop, 12, false),
+        ];
+        db.push_chunk(&mut batch);
+        assert!(batch.is_empty(), "the allocation was donated");
+        db.push(exec_entry(12, false)); // new tail *after* the chunk
+        let mut batch2 = vec![exec_entry(16, true)];
+        db.push_chunk(&mut batch2);
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.data_occupancy(), 4, "skip markers are control-only");
+        assert_eq!(db.control_occupancy(), 2);
+        let pcs: Vec<u64> = db.iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, [0, 4, 8, 12, 16], "iter sees push order");
+        for want in [0u64, 4, 8, 12, 16] {
+            assert_eq!(db.pop().unwrap().pc, want);
+        }
+        assert!(db.pop().is_none());
+        assert_eq!(db.data_occupancy(), 0);
+        assert_eq!(db.control_occupancy(), 0);
+        // The next chunk push reuses a recycled allocation (no way to
+        // observe the pointer here, but the capacity survives the trip).
+        let mut batch3 = vec![exec_entry(20, false)];
+        db.push_chunk(&mut batch3);
+        assert_eq!(db.pop().unwrap().pc, 20);
     }
 
     #[test]

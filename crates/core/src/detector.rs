@@ -78,32 +78,46 @@ struct Node {
     store: Option<(u64, MemWidth)>,
 }
 
-#[derive(Debug, Clone)]
+impl Node {
+    /// Filler for unused arena slots; never read through a live trace.
+    const fn placeholder() -> Node {
+        Node {
+            instr: Instr::Halt,
+            producers: SlotList::new(),
+            consumers: SlotList::new(),
+            external_consumer: false,
+            killed: false,
+            has_dest: false,
+            selected: false,
+            reason: Reason::NONE,
+            store: None,
+        }
+    }
+}
+
+/// A trace under analysis. Nodes live in the detector's striped arena
+/// (`IrDetector::nodes`): this struct only records which stripe
+/// (`base..base + len`) holds them, so creating and evicting traces never
+/// allocates.
+#[derive(Debug, Clone, Copy)]
 struct TraceDfg {
     trace_no: u64,
     start_pc: u64,
     outcomes: u32,
     branch_count: u8,
-    nodes: Vec<Node>,
+    /// First arena index of this trace's stripe.
+    base: usize,
+    /// Number of nodes written so far (`<= MAX_TRACE_LEN`).
+    len: usize,
 }
 
 impl TraceDfg {
-    fn new(trace_no: u64, start_pc: u64) -> TraceDfg {
-        TraceDfg {
-            trace_no,
-            start_pc,
-            outcomes: 0,
-            branch_count: 0,
-            nodes: Vec::with_capacity(MAX_TRACE_LEN),
-        }
-    }
-
     fn id(&self) -> TraceId {
         TraceId {
             start_pc: self.start_pc,
             outcomes: self.outcomes,
             branch_count: self.branch_count,
-            len: self.nodes.len() as u8,
+            len: self.len as u8,
         }
     }
 }
@@ -138,9 +152,15 @@ pub struct DetectorOutput {
     pub stores: Vec<(u8, u64, MemWidth)>,
 }
 
+/// Spare `DetectorOutput::stores` allocations kept for reuse via
+/// [`IrDetector::recycle`].
+const STORES_SPARE_CAP: usize = 16;
+
 /// The IR-detector. Feed it the R-stream's retired instructions in order
 /// (with trace boundaries) via [`IrDetector::push`]; collect
-/// per-evicted-trace removal information from [`IrDetector::drain`].
+/// per-evicted-trace removal information from [`IrDetector::pop_output`]
+/// (returning the output to [`IrDetector::recycle`] afterwards) or
+/// [`IrDetector::drain`].
 #[derive(Debug)]
 pub struct IrDetector {
     policy: RemovalPolicy,
@@ -149,12 +169,28 @@ pub struct IrDetector {
     scope: VecDeque<TraceDfg>,
     current: Option<TraceDfg>,
     next_trace_no: u64,
+    /// Striped bump arena holding every live trace's nodes: stripe `i`
+    /// covers `i * MAX_TRACE_LEN ..` and belongs to the trace whose number
+    /// is `i (mod scope_cap + 1)`. At most `scope_cap + 1` traces are ever
+    /// live (the current one plus a full scope), and trace numbers are
+    /// monotonic, so a new trace's stripe occupant is always already
+    /// evicted — slots are reused by overwrite, never cleared or
+    /// reallocated.
+    nodes: Vec<Node>,
     regs: [RegState; NUM_REGS],
     mem: FastHashMap<u64, MemState>,
     outputs: VecDeque<DetectorOutput>,
     /// Reusable scratch for `push`'s trigger list (avoids a per-retire
     /// allocation).
     pending_scratch: Vec<(Producer, Reason)>,
+    /// Reusable scratch for `mark_overlaps_referenced` (per-load on the
+    /// hot path).
+    pin_scratch: Vec<Producer>,
+    /// Reusable scratch for `write_mem`'s overlap kill list (per-store on
+    /// the hot path).
+    overlap_scratch: Vec<u64>,
+    /// Recycled `DetectorOutput::stores` allocations.
+    stores_spare: Vec<Vec<(u8, u64, MemWidth)>>,
 }
 
 impl IrDetector {
@@ -167,6 +203,7 @@ impl IrDetector {
             scope: VecDeque::new(),
             current: None,
             next_trace_no: 0,
+            nodes: vec![Node::placeholder(); (scope_cap + 1) * MAX_TRACE_LEN],
             regs: [RegState {
                 producer: None,
                 referenced: false,
@@ -175,7 +212,16 @@ impl IrDetector {
             mem: FastHashMap::default(),
             outputs: VecDeque::new(),
             pending_scratch: Vec::new(),
+            pin_scratch: Vec::new(),
+            overlap_scratch: Vec::new(),
+            stores_spare: Vec::new(),
         }
+    }
+
+    /// Arena stripe base for `trace_no`; the modulus must match the
+    /// maximum number of simultaneously live traces (`scope_cap + 1`).
+    fn stripe_base(&self, trace_no: u64) -> usize {
+        (trace_no % (self.scope_cap as u64 + 1)) as usize * MAX_TRACE_LEN
     }
 
     /// The active removal policy.
@@ -191,10 +237,22 @@ impl IrDetector {
         if self.current.is_none() {
             let no = self.next_trace_no;
             self.next_trace_no += 1;
-            self.current = Some(TraceDfg::new(no, rec.pc));
+            let base = self.stripe_base(no);
+            debug_assert!(
+                self.scope.iter().all(|t| t.base != base),
+                "arena stripe {base} reclaimed while its trace is still in scope"
+            );
+            self.current = Some(TraceDfg {
+                trace_no: no,
+                start_pc: rec.pc,
+                outcomes: 0,
+                branch_count: 0,
+                base,
+                len: 0,
+            });
         }
         let cur_no = self.current.as_ref().expect("just ensured").trace_no;
-        let slot = self.current.as_ref().expect("just ensured").nodes.len() as u8;
+        let slot = self.current.as_ref().expect("just ensured").len as u8;
         let me = Producer {
             trace_no: cur_no,
             slot,
@@ -246,9 +304,11 @@ impl IrDetector {
         };
         {
             let cur = self.current.as_mut().expect("current exists");
-            cur.nodes.push(node);
+            debug_assert!(cur.len < MAX_TRACE_LEN, "trace overflows its stripe");
+            self.nodes[cur.base + cur.len] = node;
+            cur.len += 1;
             for &p in producers.as_slice() {
-                cur.nodes[p as usize].consumers.push(slot);
+                self.nodes[cur.base + p as usize].consumers.push(slot);
             }
             if let Some(t) = rec.taken {
                 if t {
@@ -313,7 +373,7 @@ impl IrDetector {
         // ---- trace completion.
         let done = {
             let cur = self.current.as_ref().expect("current exists");
-            ends_trace || cur.nodes.len() >= MAX_TRACE_LEN
+            ends_trace || cur.len >= MAX_TRACE_LEN
         };
         if done {
             let cur = self.current.take().expect("current exists");
@@ -327,6 +387,23 @@ impl IrDetector {
     /// Takes all accumulated evicted-trace outputs, in order.
     pub fn drain(&mut self) -> Vec<DetectorOutput> {
         self.outputs.drain(..).collect()
+    }
+
+    /// Takes the oldest evicted-trace output, if any. The hot-path
+    /// alternative to [`IrDetector::drain`]: pair with
+    /// [`IrDetector::recycle`] so the per-output `stores` allocation
+    /// circulates instead of being freed and re-made every trace.
+    pub fn pop_output(&mut self) -> Option<DetectorOutput> {
+        self.outputs.pop_front()
+    }
+
+    /// Returns a consumed output's `stores` allocation to the spare pool
+    /// for reuse by later evictions.
+    pub fn recycle(&mut self, mut out: DetectorOutput) {
+        if self.stores_spare.len() < STORES_SPARE_CAP {
+            out.stores.clear();
+            self.stores_spare.push(out.stores);
+        }
     }
 
     /// Evicts and reports every completed trace still in scope (used when
@@ -355,14 +432,17 @@ impl IrDetector {
     // ---- internals -------------------------------------------------------
 
     fn node_mut(&mut self, p: Producer) -> Option<&mut Node> {
-        if let Some(cur) = &mut self.current {
-            if cur.trace_no == p.trace_no {
-                return cur.nodes.get_mut(p.slot as usize);
-            }
+        let t = *self.trace_of(p.trace_no)?;
+        if p.slot as usize >= t.len {
+            return None;
         }
-        let front_no = self.scope.front()?.trace_no;
-        let idx = p.trace_no.checked_sub(front_no)? as usize;
-        self.scope.get_mut(idx)?.nodes.get_mut(p.slot as usize)
+        debug_assert_eq!(
+            t.base,
+            self.stripe_base(p.trace_no),
+            "trace {} not in its own stripe",
+            p.trace_no
+        );
+        Some(&mut self.nodes[t.base + p.slot as usize])
     }
 
     fn reference_mem(&mut self, addr: u64, width: MemWidth) -> Option<Producer> {
@@ -386,7 +466,8 @@ impl IrDetector {
         let n = width.bytes();
         let lo = addr.saturating_sub(7);
         let hi = addr + n;
-        let mut pin: Vec<Producer> = Vec::new();
+        let mut pin = std::mem::take(&mut self.pin_scratch);
+        pin.clear();
         for (&a, st) in self.mem.iter_mut() {
             if a == addr && st.width == width {
                 continue;
@@ -397,11 +478,12 @@ impl IrDetector {
                 pin.push(st.producer);
             }
         }
-        for p in pin {
+        for &p in &pin {
             if let Some(node) = self.node_mut(p) {
                 node.external_consumer = true;
             }
         }
+        self.pin_scratch = pin;
     }
 
     fn write_mem(
@@ -428,19 +510,22 @@ impl IrDetector {
         let n = width.bytes();
         let lo = addr.saturating_sub(7);
         let hi = addr + n;
-        let overlapping: Vec<u64> = self
-            .mem
-            .iter()
-            .filter(|(&a, st)| a != addr && a < hi && addr < a + st.width.bytes() && a >= lo)
-            .map(|(&a, _)| a)
-            .collect();
-        for a in overlapping {
+        let mut overlapping = std::mem::take(&mut self.overlap_scratch);
+        overlapping.clear();
+        overlapping.extend(
+            self.mem
+                .iter()
+                .filter(|(&a, st)| a != addr && a < hi && addr < a + st.width.bytes() && a >= lo)
+                .map(|(&a, _)| a),
+        );
+        for &a in &overlapping {
             let st = self.mem.remove(&a).expect("key just found");
             if let Some(node) = self.node_mut(st.producer) {
                 node.killed = true;
                 node.external_consumer = true;
             }
         }
+        self.overlap_scratch = overlapping;
         self.mem.insert(
             addr,
             MemState {
@@ -492,7 +577,9 @@ impl IrDetector {
             let Some(trace) = self.trace_of(p.trace_no) else {
                 return;
             };
-            let node = &trace.nodes[p.slot as usize];
+            let base = trace.base;
+            debug_assert!((p.slot as usize) < trace.len, "slot outside trace");
+            let node = &self.nodes[base + p.slot as usize];
             if node.selected
                 || !node.killed
                 || !node.has_dest
@@ -508,7 +595,7 @@ impl IrDetector {
             let mut inherited = Reason::PROP;
             let mut all_selected = true;
             for &c in node.consumers.as_slice() {
-                let cn = &trace.nodes[c as usize];
+                let cn = &self.nodes[base + c as usize];
                 if cn.selected {
                     inherited = inherited.union(cn.reason.triggers());
                 } else {
@@ -539,8 +626,9 @@ impl IrDetector {
             return;
         };
         let mut info = RemovalInfo::empty();
-        let mut stores = Vec::new();
-        for (i, node) in t.nodes.iter().enumerate() {
+        let mut stores = self.stores_spare.pop().unwrap_or_default();
+        for i in 0..t.len {
+            let node = &self.nodes[t.base + i];
             if node.selected {
                 info.ir_vec |= 1 << i;
                 info.reasons[i] = node.reason;
@@ -880,6 +968,65 @@ mod tests {
         det.flush();
         det.finish();
         assert!(det.drain().is_empty());
+    }
+
+    /// Loads one of the checked-in `.ssir` corpus reproducers (they live
+    /// with the differential-fuzz harness, which replays them through the
+    /// full processor; here the detector analyses them in isolation).
+    fn corpus_src(name: &str) -> String {
+        let path = format!("{}/../bench/corpus/{name}.ssir", env!("CARGO_MANIFEST_DIR"));
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    }
+
+    /// Compact fingerprint of a detector run: one `(ir_vec, len, stores)`
+    /// triple per evicted trace, in eviction order.
+    fn fingerprint(outputs: &[DetectorOutput]) -> Vec<(u32, u8, usize)> {
+        outputs
+            .iter()
+            .map(|o| (o.info.ir_vec, o.id.len, o.stores.len()))
+            .collect()
+    }
+
+    /// Arena regression pin: the corpus program whose dynamic stream ends
+    /// with a partial trace on a reused stripe. The exact per-trace
+    /// removal vectors are pinned so any arena mis-mapping (wrong stripe
+    /// modulus, eviction reading past `len` into stale nodes, a stripe
+    /// reclaimed too early) fails loudly here even though the full
+    /// processor would self-heal it through recovery.
+    #[test]
+    fn corpus_partial_trace_tail_outputs_are_pinned() {
+        let out = analyse(
+            &corpus_src("detector_partial_trace_tail"),
+            RemovalPolicy::all(),
+        );
+        let got = fingerprint(&out);
+        // Ten full warm-up traces (the loop's removable branch/dead-write
+        // pattern), then the 11-slot tail evicted by `finish()` with its
+        // dead write (slot 2), silent store (slot 4) and back-propagated
+        // chain — and exactly its two stores, none leaked from the stale
+        // stripe remainder.
+        let mut want: Vec<(u32, u8, usize)> = vec![(0x5555_5550, 32, 0)];
+        want.extend(vec![(0x5555_5555, 32, 0); 9]);
+        want.push((0b1001_0100, 11, 2));
+        assert_eq!(got, want);
+    }
+
+    /// Arena regression pin: ≥14 back-to-back short traces (`jr` bounded)
+    /// wrapping every arena stripe, with cross-stripe kills and silent
+    /// stores. See `corpus_partial_trace_tail_outputs_are_pinned`.
+    #[test]
+    fn corpus_stripe_wrap_outputs_are_pinned() {
+        let out = analyse(&corpus_src("detector_stripe_wrap"), RemovalPolicy::all());
+        let got = fingerprint(&out);
+        // Prologue + first iteration (12 slots), then 12 jr-bounded
+        // 6-slot traces, each with the cross-stripe dead write (slot 1,
+        // WW killed from the *next* trace's stripe), the silent store
+        // (slot 2) and the removable branch (slot 4); the taken-exit
+        // final trace (7 slots) keeps its live accumulator chain.
+        let mut want: Vec<(u32, u8, usize)> = vec![(0b0101_1000_1000, 12, 2)];
+        want.extend(vec![(0b01_0110, 6, 1); 12]);
+        want.push((0b001_0100, 7, 1));
+        assert_eq!(got, want);
     }
 
     #[test]

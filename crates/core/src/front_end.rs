@@ -19,7 +19,7 @@ fn debug_fe() -> bool {
     *ON.get_or_init(|| std::env::var_os("SLIP_DEBUG_FE").is_some())
 }
 
-use slipstream_cpu::{CoreDriver, EventKind, FetchItem, TraceSink, NO_SEQ};
+use slipstream_cpu::{CoreDriver, EventKind, FetchBlock, FetchItem, TraceSink, NO_SEQ};
 use slipstream_isa::{Instr, Program, Retired};
 use slipstream_predict::{
     materialize_into, PathHistory, TraceId, TracePredictor, TracePredictorConfig,
@@ -35,7 +35,7 @@ use crate::removal::Reason;
 /// subsequent traces until the backlog drains — a forward-progress guard.
 const MAX_PENDING_SKIPS: usize = 512;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct SkipRec {
     pc: u64,
     instr: Instr,
@@ -46,9 +46,12 @@ struct SkipRec {
     reason: Reason,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct ItemMeta {
-    skips_before: Vec<SkipRec>,
+    /// How many records this item owns at the front of the flat skip
+    /// queue (see [`TraceFrontEnd::skips`]); `Copy` metas keep the
+    /// per-window checkpoint a flat memcpy.
+    skip_count: u32,
     ends_trace: bool,
     /// Which fetched trace this item belongs to (monotonic counter).
     trace_no: u64,
@@ -174,6 +177,12 @@ pub struct TraceFrontEnd {
     /// suffix, so a deque replaces the former per-instruction `HashMap`:
     /// retire pops the front, redirect pops the tail.
     metas: VecDeque<(u64, ItemMeta)>,
+    /// Skip records of all in-flight metas, flattened in fetch order:
+    /// retirement consumes a meta's `skip_count` records off the front,
+    /// a redirect squash drops a squashed meta's records off the back.
+    /// One flat `Copy` queue instead of a `Vec` per meta keeps both the
+    /// retire path and the window checkpoint allocation-free.
+    skips: VecDeque<SkipRec>,
     pending_skips: Vec<SkipRec>,
     inflight: VecDeque<InflightTrace>,
     trace_counter: u64,
@@ -262,6 +271,7 @@ impl TraceFrontEnd {
             next_pred: None,
             next_meta: 1,
             metas: VecDeque::new(),
+            skips: VecDeque::new(),
             pending_skips: Vec::new(),
             inflight: VecDeque::new(),
             trace_counter: 0,
@@ -296,6 +306,7 @@ impl TraceFrontEnd {
         self.ready.clear();
         self.next_pred = None;
         self.metas.clear();
+        self.skips.clear();
         self.pending_skips.clear();
         self.inflight.clear();
         self.commit = CommitBuilder::default();
@@ -424,7 +435,7 @@ impl TraceFrontEnd {
             self.metas.push_back((
                 meta,
                 ItemMeta {
-                    skips_before: Vec::new(),
+                    skip_count: 0,
                     ends_trace: ends,
                     trace_no: self.open_trace_no,
                     canonical_pos: self.open_len + emitted,
@@ -593,10 +604,12 @@ impl TraceFrontEnd {
             }
             let meta = self.next_meta;
             self.next_meta += 1;
+            let skip_count = self.pending_skips.len() as u32;
+            self.skips.extend(self.pending_skips.drain(..));
             self.metas.push_back((
                 meta,
                 ItemMeta {
-                    skips_before: std::mem::take(&mut self.pending_skips),
+                    skip_count,
                     ends_trace: i + 1 == n,
                     trace_no,
                     canonical_pos: i as u8,
@@ -644,6 +657,31 @@ impl CoreDriver for TraceFrontEnd {
         self.ready.pop_front()
     }
 
+    fn next_fetch_block(&mut self, out: &mut FetchBlock, max: usize) {
+        // Native batch: drain whatever `ready` already holds, preparing
+        // more traces only when it runs dry. The guard matches
+        // `next_fetch` exactly (per item, not per block) so the two paths
+        // yield byte-identical streams.
+        while out.len() < max {
+            let mut guard = 0;
+            while self.ready.is_empty() {
+                if !self.prepare_trace() {
+                    return;
+                }
+                guard += 1;
+                if guard > 64 {
+                    return;
+                }
+            }
+            while out.len() < max {
+                match self.ready.pop_front() {
+                    Some(item) => out.push(item),
+                    None => break,
+                }
+            }
+        }
+    }
+
     fn on_redirect(&mut self, resolved: &Retired, meta: u64) {
         self.ready.clear();
         self.next_pred = None;
@@ -666,7 +704,13 @@ impl CoreDriver for TraceFrontEnd {
         // Meta ids are pushed in increasing order, so the wrong-path items
         // are exactly the deque's tail beyond `meta`.
         while self.metas.back().is_some_and(|&(k, _)| k > meta) {
-            self.metas.pop_back();
+            if let Some((_, m)) = self.metas.pop_back() {
+                // The squashed item's skip group is the flat queue's tail
+                // (skips are appended in the same order metas are pushed).
+                for _ in 0..m.skip_count {
+                    self.skips.pop_back();
+                }
+            }
         }
         // The canonical trace continues through the redirect unless the
         // redirecting instruction already closed it.
@@ -686,7 +730,11 @@ impl CoreDriver for TraceFrontEnd {
             .pop_front()
             .expect("every dispatched item has retire metadata");
         debug_assert_eq!(key, meta, "items retire in dispatch order");
-        for skip in &m.skips_before {
+        for _ in 0..m.skip_count {
+            let skip = self
+                .skips
+                .pop_front()
+                .expect("the flat skip queue tracks meta skip counts");
             if let Some(t) = self.trace.as_mut() {
                 t.record(
                     EventKind::Removed,
@@ -760,7 +808,11 @@ impl TraceFrontEnd {
     /// repairs) by every scheduler, so serial, windowed, and threaded
     /// execution observe byte-identical predictor state.
     pub fn apply_training(&mut self) {
-        for id in std::mem::take(&mut self.train_q) {
+        // Indexed drain: `mem::take` here would drop the queue's buffer and
+        // re-allocate it one trace later, once per trace for the rest of
+        // the run.
+        for i in 0..self.train_q.len() {
+            let id = self.train_q[i];
             self.predictor.update(&self.retired_hist, id);
             self.retired_hist.push(id);
             self.last_trace_at.insert(id.start_pc, id);
@@ -769,6 +821,7 @@ impl TraceFrontEnd {
                 .entry((id.start_pc, id.len))
                 .or_insert(0) += 1;
         }
+        self.train_q.clear();
     }
 
     /// Snapshots the per-window mutable state for the slack-window
@@ -787,6 +840,7 @@ impl TraceFrontEnd {
             fetch_pc: self.fetch_pc,
             next_meta: self.next_meta,
             metas: self.metas.clone(),
+            skips: self.skips.clone(),
             pending_skips: self.pending_skips.clone(),
             inflight: self.inflight.clone(),
             trace_counter: self.trace_counter,
@@ -801,28 +855,55 @@ impl TraceFrontEnd {
         }
     }
 
+    /// [`TraceFrontEnd::checkpoint`] into an existing snapshot, reusing
+    /// its buffers — the slack-window scheduler checkpoints every window,
+    /// and `clone_from` keeps that steady state allocation-free.
+    pub fn checkpoint_into(&self, out: &mut FeCheckpoint) {
+        debug_assert!(self.train_q.is_empty(), "checkpoint off-boundary");
+        debug_assert!(self.out_entries.is_empty() && self.out_commits.is_empty());
+        out.spec_hist.clone_from(&self.spec_hist);
+        out.ready.clone_from(&self.ready);
+        out.next_pred = self.next_pred;
+        out.fetch_pc = self.fetch_pc;
+        out.next_meta = self.next_meta;
+        out.metas.clone_from(&self.metas);
+        out.skips.clone_from(&self.skips);
+        out.pending_skips.clone_from(&self.pending_skips);
+        out.inflight.clone_from(&self.inflight);
+        out.trace_counter = self.trace_counter;
+        out.open_len = self.open_len;
+        out.open_trace_no = self.open_trace_no;
+        out.commit = self.commit.clone();
+        out.done = self.done;
+        out.skip_counts.clone_from(&self.skip_counts);
+        out.stats = self.stats;
+        out.pred_stats = self.predictor.stats();
+        out.trace.clone_from(&self.trace);
+    }
+
     /// Restores a boundary checkpoint, rewinding every side effect of the
     /// partially executed window (replay then re-derives the cycles up to
     /// the recovery point deterministically — the frozen tables guarantee
     /// identical fetch decisions).
     pub fn restore(&mut self, ck: &FeCheckpoint) {
-        self.spec_hist = ck.spec_hist.clone();
-        self.ready = ck.ready.clone();
+        self.spec_hist.clone_from(&ck.spec_hist);
+        self.ready.clone_from(&ck.ready);
         self.next_pred = ck.next_pred;
         self.fetch_pc = ck.fetch_pc;
         self.next_meta = ck.next_meta;
-        self.metas = ck.metas.clone();
-        self.pending_skips = ck.pending_skips.clone();
-        self.inflight = ck.inflight.clone();
+        self.metas.clone_from(&ck.metas);
+        self.skips.clone_from(&ck.skips);
+        self.pending_skips.clone_from(&ck.pending_skips);
+        self.inflight.clone_from(&ck.inflight);
         self.trace_counter = ck.trace_counter;
         self.open_len = ck.open_len;
         self.open_trace_no = ck.open_trace_no;
         self.commit = ck.commit.clone();
         self.done = ck.done;
-        self.skip_counts = ck.skip_counts.clone();
+        self.skip_counts.clone_from(&ck.skip_counts);
         self.stats = ck.stats;
         self.predictor.restore_stats(ck.pred_stats);
-        self.trace = ck.trace.clone();
+        self.trace.clone_from(&ck.trace);
         self.train_q.clear();
         self.out_entries.clear();
         self.out_commits.clear();
@@ -839,6 +920,7 @@ pub struct FeCheckpoint {
     fetch_pc: Option<u64>,
     next_meta: u64,
     metas: VecDeque<(u64, ItemMeta)>,
+    skips: VecDeque<SkipRec>,
     pending_skips: Vec<SkipRec>,
     inflight: VecDeque<InflightTrace>,
     trace_counter: u64,

@@ -5,9 +5,11 @@
 //! IR-misprediction (paper §2.3). Matching operand values are used as
 //! value predictions so dependent instructions issue immediately.
 
-use slipstream_isa::FastHashMap;
+use std::collections::VecDeque;
 
-use slipstream_cpu::{CoreDriver, DispatchHints, EventKind, FetchItem, TraceSink, NO_SEQ};
+use slipstream_cpu::{
+    CoreDriver, DispatchHints, EventKind, FetchBlock, FetchItem, TraceSink, NO_SEQ,
+};
 use slipstream_isa::{MemWidth, Retired};
 
 use crate::config::RemovalPolicy;
@@ -47,7 +49,12 @@ pub struct RStreamDriver {
     pub delay: DelayBuffer,
     /// The IR-detector, fed by R-stream retirement.
     pub detector: IrDetector,
-    inflight: FastHashMap<u64, DelayEntry>,
+    /// Delay entries for fetched-but-not-retired items, ordered by meta
+    /// id. Ids are handed out contiguously at fetch and items retire
+    /// strictly in dispatch order, so the deque replaces a per-instruction
+    /// `HashMap`: dispatch indexes at `meta - front_id`, retire pops the
+    /// front, and recovery clears the lot.
+    inflight: VecDeque<(u64, DelayEntry)>,
     next_meta: u64,
     prev_pc: Option<u64>,
     frozen: bool,
@@ -81,7 +88,7 @@ impl RStreamDriver {
         RStreamDriver {
             delay: DelayBuffer::new(data_cap, control_cap),
             detector: IrDetector::new(policy, detector_scope),
-            inflight: FastHashMap::default(),
+            inflight: VecDeque::new(),
             next_meta: 1,
             prev_pc: None,
             frozen: false,
@@ -160,13 +167,64 @@ impl CoreDriver for RStreamDriver {
             slot_cost: 1,
             meta,
         };
-        self.inflight.insert(meta, e);
+        self.inflight.push_back((meta, e));
         Some(item)
     }
 
+    fn next_fetch_block(&mut self, out: &mut FetchBlock, max: usize) {
+        // Native batch: one frozen check and one virtual call per fetch
+        // group. Entries pulled here but not yet consumed by the core sit
+        // in its fetch block; they are already in `inflight`, and recovery
+        // clears both sides together (`reset_for_recovery` + core flush).
+        if self.frozen {
+            return;
+        }
+        while out.len() < max {
+            let Some(e) = self.delay.pop() else {
+                break;
+            };
+            if let Some(t) = self.trace.as_mut() {
+                t.record(
+                    EventKind::DelayDequeue,
+                    NO_SEQ,
+                    e.pc,
+                    self.delay.len() as u64,
+                );
+            }
+            let meta = self.next_meta;
+            self.next_meta += 1;
+            let new_block = self.prev_pc.is_none_or(|p| p + 4 != e.pc);
+            self.prev_pc = Some(e.pc);
+            let pred_taken = e
+                .taken
+                .or_else(|| e.instr.is_branch().then(|| e.next_pc != e.pc + 4));
+            out.push(FetchItem {
+                pc: e.pc,
+                instr: e.instr,
+                pred_npc: e.next_pc,
+                pred_taken,
+                new_block,
+                slot_cost: 1,
+                meta,
+            });
+            self.inflight.push_back((meta, e));
+        }
+    }
+
     fn on_dispatch(&mut self, rec: &Retired, meta: u64) -> DispatchHints {
-        let Some(e) = self.inflight.get(&meta).copied() else {
-            return DispatchHints::default();
+        // Contiguous ids make the lookup an O(1) index off the front.
+        let e = match self.inflight.front() {
+            Some(&(front_id, _)) => match meta
+                .checked_sub(front_id)
+                .and_then(|i| self.inflight.get(i as usize))
+            {
+                Some(&(id, e)) => {
+                    debug_assert_eq!(id, meta, "inflight ids are contiguous");
+                    e
+                }
+                None => return DispatchHints::default(),
+            },
+            None => return DispatchHints::default(),
         };
         if e.skipped {
             return DispatchHints::default();
@@ -191,10 +249,11 @@ impl CoreDriver for RStreamDriver {
     }
 
     fn on_retire(&mut self, rec: &Retired, meta: u64) {
-        let e = self
+        let (id, e) = self
             .inflight
-            .remove(&meta)
+            .pop_front()
             .expect("every dispatched R-stream item has its delay entry");
+        debug_assert_eq!(id, meta, "R-stream items retire in dispatch order");
         self.detector.push(rec, e.ends_trace);
         if let Some(m) = rec.mem {
             if m.is_store {

@@ -227,7 +227,6 @@ struct AHalf {
     /// Interval-sampler period (0 = off), mirrored from the R side so
     /// A-side counters are captured at exactly the due cycles.
     sample_interval: u64,
-    retired_buf: Vec<Retired>,
 }
 
 /// A boundary snapshot of the A side, for rollback-and-replay recovery.
@@ -269,24 +268,24 @@ impl AHalf {
             self.data_cap
                 .saturating_sub(self.data_occ + self.data_pushed)
         };
-        let mut retired = std::mem::take(&mut self.retired_buf);
-        self.core.cycle(&mut self.fe, &mut retired);
-        self.retired_buf = retired;
+        // `cycle_quiet`: the A side observes retirement through its front
+        // end only, so materializing the `Retired` records would be a pure
+        // ~130-byte-per-instruction copy.
+        self.core.cycle_quiet(&mut self.fe);
         batch
             .l2_log
             .extend_from_slice(&self.core.l2_log()[l2_mark..]);
 
-        for e in self.fe.out_entries.drain(..) {
-            if !e.skipped {
-                self.data_pushed += 1;
-            }
-            if e.ends_trace {
-                self.ctrl_pushed += 1;
-            }
-            batch.entries.push(e);
+        // Zero-copy hand-off: count the push credits, then swap the front
+        // end's output buffers straight into the batch (the batch's cleared
+        // vectors become the front end's recycled scratch for next cycle).
+        for e in &self.fe.out_entries {
+            self.data_pushed += usize::from(!e.skipped);
+            self.ctrl_pushed += usize::from(e.ends_trace);
         }
-        batch.applied.append(&mut self.fe.out_applied);
-        batch.commits.append(&mut self.fe.out_commits);
+        std::mem::swap(&mut batch.entries, &mut self.fe.out_entries);
+        std::mem::swap(&mut batch.applied, &mut self.fe.out_applied);
+        std::mem::swap(&mut batch.commits, &mut self.fe.out_commits);
 
         if self.sample_interval != 0 && self.cycles.is_multiple_of(self.sample_interval) {
             batch.sample = Some(ASample {
@@ -311,6 +310,18 @@ impl AHalf {
         }
     }
 
+    /// [`AHalf::checkpoint`] into an existing snapshot, reusing its
+    /// buffers (the schedulers re-checkpoint every window).
+    fn checkpoint_into(&self, out: &mut ACheckpoint) {
+        out.core.clone_from(&self.core);
+        self.fe.checkpoint_into(&mut out.fe);
+        out.cycles = self.cycles;
+        out.data_occ = self.data_occ;
+        out.ctrl_occ = self.ctrl_occ;
+        out.data_pushed = self.data_pushed;
+        out.ctrl_pushed = self.ctrl_pushed;
+    }
+
     /// Restores `ck` and deterministically re-runs to `target` (inclusive),
     /// discarding the regenerated batches — the R-stream already consumed
     /// the prefix. Replay reproduces the original cycles exactly: fetch
@@ -318,7 +329,7 @@ impl AHalf {
     /// credit budget is part of the checkpoint, and an armed fault refires
     /// at the same sequence number.
     fn rollback_replay(&mut self, ck: &ACheckpoint, target: u64, scratch: &mut CycleBatch) {
-        self.core = ck.core.clone();
+        self.core.clone_from(&ck.core);
         self.fe.restore(&ck.fe);
         self.cycles = ck.cycles;
         self.data_occ = ck.data_occ;
@@ -456,7 +467,7 @@ fn assert_matches_checker(rec: &Retired, want: &Retired) {
 impl RHalf {
     /// Consumes one A-stream cycle batch: routes delay traffic, advances
     /// the R-core, checks, and trains the detector.
-    fn consume_cycle(&mut self, batch: &CycleBatch, program: &Program) -> RPhase {
+    fn consume_cycle(&mut self, batch: &mut CycleBatch, program: &Program) -> RPhase {
         self.cycles = batch.cycle;
         if let Some(mt) = self.machine_trace.as_mut() {
             mt.sink.set_cycle(self.cycles);
@@ -466,8 +477,10 @@ impl RHalf {
         }
 
         // Route the A-stream's retirement output into the delay buffer and
-        // the recovery controller.
-        for &e in &batch.entries {
+        // the recovery controller: one read-only pass for the bookkeeping,
+        // then the whole batch moves into the buffer as a chunk (allocation
+        // swap — no per-entry copy; the batch gets a recycled vector back).
+        for e in &batch.entries {
             if !e.skipped && e.instr.is_store() {
                 if let (Some(addr), Some(w)) = (e.addr, e.instr.mem_width()) {
                     self.recovery.add_undo(addr, w);
@@ -477,8 +490,8 @@ impl RHalf {
                 mt.sink
                     .record(EventKind::DelayEnqueue, NO_SEQ, e.pc, e.skipped as u64);
             }
-            self.drv.delay.push(e);
         }
+        self.drv.delay.push_chunk(&mut batch.entries);
         self.applied_pending.extend_from_slice(&batch.applied);
         self.pending_a_l2.extend_from_slice(&batch.l2_log);
         for &c in &batch.commits {
@@ -514,7 +527,7 @@ impl RHalf {
 
         // IR-detector outputs: verify the A-stream's applied removals now;
         // queue the IR-table training for the next sync boundary.
-        for out in self.drv.detector.drain() {
+        while let Some(out) = self.drv.detector.pop_output() {
             if let Some(c) = self.drv.delay.pop_commit() {
                 if c.used_vec & !out.info.ir_vec != 0 {
                     // The A-stream removed something the detector says was
@@ -540,6 +553,7 @@ impl RHalf {
             let key = self.observe_hist.context_hash();
             self.obs_q.push((key, out.id, out.info));
             self.observe_hist.push(out.id);
+            self.drv.detector.recycle(out);
         }
         if self.applied_pending.len() > 4096 {
             // Leaked entries from truncated reduced traces; the list is
@@ -681,10 +695,16 @@ fn a_stream_thread(
     recycle: std::sync::mpsc::Receiver<CycleBatch>,
 ) {
     let mut scratch = CycleBatch::default();
+    // Reused window checkpoint (see `SlipstreamProcessor::window_ck`).
+    let mut ck_slot: Option<ACheckpoint> = None;
     while anchor < max_cycles {
         let window_end = (anchor + quantum).min(max_cycles);
         debug_assert_eq!(a.cycles, anchor, "windows start at the anchor");
-        let ck = a.checkpoint();
+        match &mut ck_slot {
+            Some(ck) => a.checkpoint_into(ck),
+            None => ck_slot = Some(a.checkpoint()),
+        }
+        let ck = ck_slot.as_ref().expect("checkpointed above");
         for _ in anchor..window_end {
             let mut batch = recycle.try_recv().unwrap_or_default();
             a.run_cycle(&mut batch);
@@ -719,12 +739,12 @@ fn a_stream_thread(
             }
             Report::Recover(cmd) => {
                 let cycle = cmd.cycle;
-                a.rollback_replay(&ck, cycle, &mut scratch);
+                a.rollback_replay(ck, cycle, &mut scratch);
                 a.apply_recover(&cmd);
                 anchor = cycle;
             }
             Report::Halted { cycle } => {
-                a.rollback_replay(&ck, cycle, &mut scratch);
+                a.rollback_replay(ck, cycle, &mut scratch);
                 return;
             }
             Report::Done => return,
@@ -745,6 +765,9 @@ pub struct SlipstreamProcessor {
     scratch: CycleBatch,
     /// Reused window batches (windowed scheduler).
     batches: Vec<CycleBatch>,
+    /// Reused window checkpoint (windowed scheduler): re-snapshotting into
+    /// the previous window's buffers makes checkpointing allocation-free.
+    window_ck: Option<ACheckpoint>,
 }
 
 impl SlipstreamProcessor {
@@ -784,7 +807,6 @@ impl SlipstreamProcessor {
                 data_cap: cfg.delay_data_entries,
                 ctrl_cap: cfg.delay_control_entries,
                 sample_interval: 0,
-                retired_buf: Vec::new(),
             },
             r: RHalf {
                 core: r_core,
@@ -812,6 +834,7 @@ impl SlipstreamProcessor {
             anchor: 0,
             scratch: CycleBatch::default(),
             batches: Vec::new(),
+            window_ck: None,
             cfg,
         }
     }
@@ -916,6 +939,18 @@ impl SlipstreamProcessor {
         self.r.online_check = Some(ArchState::new(&self.program));
     }
 
+    /// Snapshot of the delay buffer between the streams: every queued
+    /// entry in FIFO order plus the `(data, control)` occupancy counters.
+    /// Diagnostic/test view — the scheduler-equivalence suite uses it to
+    /// prove the retire path's recycled allocations never alias live data.
+    pub fn delay_snapshot(&self) -> (Vec<crate::DelayEntry>, usize, usize) {
+        (
+            self.r.drv.delay.iter().copied().collect(),
+            self.r.drv.delay.data_occupancy(),
+            self.r.drv.delay.control_occupancy(),
+        )
+    }
+
     /// The trailing (architecturally correct) core.
     pub fn r_core(&self) -> &Core {
         &self.r.core
@@ -973,7 +1008,7 @@ impl SlipstreamProcessor {
     fn one_cycle(&mut self) {
         let mut batch = std::mem::take(&mut self.scratch);
         self.a.run_cycle(&mut batch);
-        let phase = self.r.consume_cycle(&batch, &self.program);
+        let phase = self.r.consume_cycle(&mut batch, &self.program);
         self.scratch = batch;
         if phase == RPhase::Misp {
             let cmd = self.r.build_recover(&self.program);
@@ -1041,7 +1076,10 @@ impl SlipstreamProcessor {
             }
             let window_end = (self.anchor + q).min(max_cycles);
             let n = (window_end - self.anchor) as usize;
-            let ck = self.a.checkpoint();
+            match &mut self.window_ck {
+                Some(ck) => self.a.checkpoint_into(ck),
+                None => self.window_ck = Some(self.a.checkpoint()),
+            }
             while self.batches.len() < n {
                 self.batches.push(CycleBatch::default());
             }
@@ -1049,7 +1087,7 @@ impl SlipstreamProcessor {
                 self.a.run_cycle(batch);
             }
             let mut outcome: Option<(RPhase, u64)> = None;
-            for batch in self.batches.iter().take(n) {
+            for batch in self.batches.iter_mut().take(n) {
                 match self.r.consume_cycle(batch, &self.program) {
                     RPhase::Ok => {}
                     phase => {
@@ -1068,13 +1106,15 @@ impl SlipstreamProcessor {
                 }
                 Some((RPhase::Misp, cycle)) => {
                     let cmd = self.r.build_recover(&self.program);
-                    self.a.rollback_replay(&ck, cycle, &mut self.scratch);
+                    let ck = self.window_ck.as_ref().expect("checkpointed above");
+                    self.a.rollback_replay(ck, cycle, &mut self.scratch);
                     self.a.apply_recover(&cmd);
                     self.anchor = cycle;
                 }
                 Some((_, cycle)) => {
                     // Halted: discard the A-stream's overrun.
-                    self.a.rollback_replay(&ck, cycle, &mut self.scratch);
+                    let ck = self.window_ck.as_ref().expect("checkpointed above");
+                    self.a.rollback_replay(ck, cycle, &mut self.scratch);
                     break;
                 }
             }
@@ -1123,13 +1163,13 @@ impl SlipstreamProcessor {
                 let window_end = (anchor_r + q).min(max_cycles);
                 let mut verdict: Option<Report> = None;
                 for _ in anchor_r..window_end {
-                    let Ok(batch) = batch_rx.pop() else {
+                    let Ok(mut batch) = batch_rx.pop() else {
                         // A thread exited early (its panic propagates when
                         // the scope joins).
                         break 'windows;
                     };
                     if verdict.is_none() {
-                        match r.consume_cycle(&batch, program) {
+                        match r.consume_cycle(&mut batch, program) {
                             RPhase::Ok => {}
                             RPhase::Misp => {
                                 verdict = Some(Report::Recover(r.build_recover(program)));

@@ -328,6 +328,78 @@ fn shared_l2_chunked_and_mixed_mode_driving() {
 }
 
 #[test]
+fn retire_path_recycled_buffers_never_alias_live_delay_data() {
+    // The zero-copy retire path circulates the same allocations through
+    // `fe.out_entries` → `CycleBatch::entries` → delay-buffer chunks →
+    // the spare pool, in every scheduler (including across the threaded
+    // scheduler's recycle channel). If any recycled buffer aliased live
+    // data — a chunk returned to the pool while the R-stream still reads
+    // it, or a batch reused before its window is consumed — the delay
+    // buffer's contents would diverge between schedulers somewhere
+    // mid-run, not just at the end. Drive a recovery-heavy, shared-L2
+    // workload in lockstep chunks at a degenerate and an oversized
+    // quantum and compare the full queued-entry sequence plus occupancy
+    // counters against the serial reference at every truncation point.
+    let w = benchmark("vortex", 0.3).unwrap();
+    for quantum in [1usize, 5000] {
+        let mut cfg = SlipstreamConfig::cmp_shared_l2();
+        cfg.sync_quantum = quantum;
+        let make = || {
+            let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+            p.enable_online_check();
+            p.set_strict(true);
+            p
+        };
+        let mut serial = make();
+        let mut others: Vec<(ExecMode, SlipstreamProcessor)> =
+            [ExecMode::Windowed, ExecMode::Threaded]
+                .into_iter()
+                .map(|m| (m, make()))
+                .collect();
+        let mut budget = 911u64; // prime: lands mid-window almost always
+        let mut pauses = 0u64;
+        while !serial.halted() {
+            serial.run_mode(ExecMode::Serial, budget);
+            let (ref_entries, ref_data, ref_ctrl) = serial.delay_snapshot();
+            for (mode, p) in &mut others {
+                p.run_mode(*mode, budget);
+                let (entries, data, ctrl) = p.delay_snapshot();
+                assert_eq!(
+                    (data, ctrl),
+                    (ref_data, ref_ctrl),
+                    "q={quantum} {mode:?} delay occupancy diverged at cycle {}",
+                    serial.cycles()
+                );
+                assert_eq!(
+                    entries,
+                    ref_entries,
+                    "q={quantum} {mode:?} delay contents diverged at cycle {}",
+                    serial.cycles()
+                );
+            }
+            budget += 911;
+            pauses += 1;
+        }
+        assert!(pauses > 3, "q={quantum}: test must truncate mid-run");
+        let ref_stats = serial.stats();
+        assert!(
+            ref_stats.ir_mispredictions > 0,
+            "q={quantum}: test needs recoveries to stress the retire path"
+        );
+        let reference = (serial, ref_stats);
+        for (mode, p) in others {
+            let got_stats = p.stats();
+            assert_identical(
+                &format!("vortex+l2 aliasing q={quantum}"),
+                mode,
+                &reference,
+                &(p, got_stats),
+            );
+        }
+    }
+}
+
+#[test]
 fn step_interleaves_with_batch_runs() {
     // `step` (the public single-cycle API) is the serial scheduler one
     // cycle at a time; mixing it with windowed runs must stay identical.

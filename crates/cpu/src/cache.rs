@@ -16,7 +16,7 @@ pub struct CacheConfig {
 /// Only hit/miss behaviour is modelled — data always comes from the
 /// simulator's memory image. `access` probes and updates LRU/fills in one
 /// step (misses allocate, i.e. write-allocate for stores).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
     /// Tag storage flattened to one allocation: set `s` occupies
@@ -30,6 +30,33 @@ pub struct Cache {
     set_mask: u64,
     hits: u64,
     misses: u64,
+}
+
+// Hand-written so `clone_from` re-fills the destination's tag arrays in
+// place: the slack-window checkpoint clones every cache once per window,
+// and the derived impl would re-allocate both vectors each time.
+impl Clone for Cache {
+    fn clone(&self) -> Cache {
+        Cache {
+            cfg: self.cfg,
+            tags: self.tags.clone(),
+            len: self.len.clone(),
+            line_shift: self.line_shift,
+            set_mask: self.set_mask,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Cache) {
+        self.cfg = src.cfg;
+        self.tags.clone_from(&src.tags);
+        self.len.clone_from(&src.len);
+        self.line_shift = src.line_shift;
+        self.set_mask = src.set_mask;
+        self.hits = src.hits;
+        self.misses = src.misses;
+    }
 }
 
 impl Cache {

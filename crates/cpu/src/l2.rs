@@ -113,7 +113,7 @@ pub struct L2Outcome {
 }
 
 /// One core's deterministic view of the shared L2 (see module docs).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct L2View {
     cfg: L2Config,
     core_id: u8,
@@ -131,6 +131,40 @@ pub struct L2View {
     line_shift: u32,
     hits: u64,
     misses: u64,
+}
+
+// Hand-written so `clone_from` reuses the destination's vectors — the
+// slack-window checkpoint clones each core's view once per window.
+impl Clone for L2View {
+    fn clone(&self) -> L2View {
+        L2View {
+            cfg: self.cfg,
+            core_id: self.core_id,
+            canonical: self.canonical.clone(),
+            canonical_port: self.canonical_port.clone(),
+            port: self.port.clone(),
+            overlay: self.overlay.clone(),
+            log: self.log.clone(),
+            next_ord: self.next_ord,
+            line_shift: self.line_shift,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    fn clone_from(&mut self, src: &L2View) {
+        self.cfg = src.cfg;
+        self.core_id = src.core_id;
+        self.canonical.clone_from(&src.canonical);
+        self.canonical_port.clone_from(&src.canonical_port);
+        self.port.clone_from(&src.port);
+        self.overlay.clone_from(&src.overlay);
+        self.log.clone_from(&src.log);
+        self.next_ord = src.next_ord;
+        self.line_shift = src.line_shift;
+        self.hits = src.hits;
+        self.misses = src.misses;
+    }
 }
 
 impl L2View {

@@ -56,7 +56,7 @@ mod trace;
 
 pub use cache::{Cache, CacheConfig};
 pub use config::CoreConfig;
-pub use driver::{CoreDriver, DispatchHints, FetchItem};
+pub use driver::{CoreDriver, DispatchHints, FetchBlock, FetchItem};
 pub use drivers::{OracleDriver, StaticDriver};
 pub use l2::{merge_l2_logs, L2Access, L2Config, L2Outcome, L2View};
 pub use pipeline::{Core, FaultSpec};

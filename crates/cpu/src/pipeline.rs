@@ -6,7 +6,7 @@ use slipstream_isa::ExecOut;
 
 use crate::cache::Cache;
 use crate::config::CoreConfig;
-use crate::driver::{CoreDriver, DispatchHints, FetchItem};
+use crate::driver::{CoreDriver, DispatchHints, FetchBlock, FetchItem};
 use crate::l2::{L2Access, L2View};
 use crate::stats::CoreStats;
 use crate::trace::{EventKind, TraceSink, NO_SEQ};
@@ -119,7 +119,8 @@ impl MemRead for SpecMem<'_> {
 /// `Clone` supports the slack-window scheduler's A-core checkpoints: the
 /// whole core state (flat cache tag arrays, memory image, ROB, queues) is
 /// snapshotted at window boundaries and restored on recovery replay.
-#[derive(Clone)]
+/// `clone_from` reuses the destination's buffers, so re-checkpointing
+/// into the same snapshot every window is allocation-free.
 pub struct Core {
     cfg: CoreConfig,
     /// Dispatch-time register state (speculative down the supplied path).
@@ -130,7 +131,10 @@ pub struct Core {
     icache: Cache,
     dcache: Cache,
     fetch_queue: VecDeque<FetchItem>,
-    pending_fetch: Option<FetchItem>,
+    /// Items pulled from the driver in a batch but not yet consumed (the
+    /// generalization of the old single-item `pending_fetch` stash).
+    /// Discarded wherever the fetch queue is discarded.
+    fetch_block: FetchBlock,
     fetch_resume_cycle: u64,
     rob: VecDeque<RobEntry>,
     rob_base: u64,
@@ -160,6 +164,70 @@ pub struct Core {
     trace: Option<TraceSink>,
 }
 
+// Hand-written (see the struct docs): field-wise `clone_from` lets the
+// slack-window checkpoint reuse every container it cloned last window.
+impl Clone for Core {
+    fn clone(&self) -> Core {
+        Core {
+            cfg: self.cfg.clone(),
+            spec_regs: self.spec_regs,
+            arch_regs: self.arch_regs,
+            mem: self.mem.clone(),
+            icache: self.icache.clone(),
+            dcache: self.dcache.clone(),
+            fetch_queue: self.fetch_queue.clone(),
+            fetch_block: self.fetch_block.clone(),
+            fetch_resume_cycle: self.fetch_resume_cycle,
+            rob: self.rob.clone(),
+            rob_base: self.rob_base,
+            next_rob_id: self.next_rob_id,
+            store_queue: self.store_queue.clone(),
+            reg_producer: self.reg_producer,
+            pending_redirect: self.pending_redirect,
+            unissued: self.unissued,
+            issue_scratch: self.issue_scratch.clone(),
+            mshrs: self.mshrs.clone(),
+            l2: self.l2.clone(),
+            fault: self.fault,
+            halted: self.halted,
+            now: self.now,
+            next_seq: self.next_seq,
+            last_progress: self.last_progress,
+            stats: self.stats,
+            trace: self.trace.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Core) {
+        self.cfg.clone_from(&src.cfg);
+        self.spec_regs = src.spec_regs;
+        self.arch_regs = src.arch_regs;
+        self.mem.clone_from(&src.mem);
+        self.icache.clone_from(&src.icache);
+        self.dcache.clone_from(&src.dcache);
+        self.fetch_queue.clone_from(&src.fetch_queue);
+        self.fetch_block.clone_from(&src.fetch_block);
+        self.fetch_resume_cycle = src.fetch_resume_cycle;
+        self.rob.clone_from(&src.rob);
+        self.rob_base = src.rob_base;
+        self.next_rob_id = src.next_rob_id;
+        self.store_queue.clone_from(&src.store_queue);
+        self.reg_producer = src.reg_producer;
+        self.pending_redirect = src.pending_redirect;
+        self.unissued = src.unissued;
+        self.issue_scratch.clone_from(&src.issue_scratch);
+        self.mshrs.clone_from(&src.mshrs);
+        self.l2.clone_from(&src.l2);
+        self.fault = src.fault;
+        self.halted = src.halted;
+        self.now = src.now;
+        self.next_seq = src.next_seq;
+        self.last_progress = src.last_progress;
+        self.stats = src.stats;
+        self.trace.clone_from(&src.trace);
+    }
+}
+
 impl Core {
     /// Creates a core with `mem` as its private initial memory image.
     pub fn new(cfg: CoreConfig, mem: Memory) -> Core {
@@ -173,7 +241,7 @@ impl Core {
             arch_regs: [0; NUM_REGS],
             mem,
             fetch_queue: VecDeque::new(),
-            pending_fetch: None,
+            fetch_block: FetchBlock::new(),
             fetch_resume_cycle: 0,
             rob: VecDeque::new(),
             rob_base: 0,
@@ -330,7 +398,7 @@ impl Core {
     /// `halted` flag (a corrupted A-stream may have "halted" spuriously).
     pub fn flush(&mut self) {
         self.fetch_queue.clear();
-        self.pending_fetch = None;
+        self.fetch_block.clear();
         self.rob_base = self.next_rob_id;
         self.rob.clear();
         self.store_queue.clear();
@@ -369,6 +437,19 @@ impl Core {
     /// property).
     pub fn cycle(&mut self, driver: &mut dyn CoreDriver, retired: &mut Vec<Retired>) {
         retired.clear();
+        self.cycle_inner(driver, Some(retired));
+    }
+
+    /// [`Core::cycle`] without materializing the retired records — the
+    /// driver still observes every retirement via
+    /// [`CoreDriver::on_retire`]. The A-stream half uses this: it consumes
+    /// retirements through its front end only, and skipping the `Retired`
+    /// copy-out (~130 bytes each) is a measurable hot-path saving.
+    pub fn cycle_quiet(&mut self, driver: &mut dyn CoreDriver) {
+        self.cycle_inner(driver, None);
+    }
+
+    fn cycle_inner(&mut self, driver: &mut dyn CoreDriver, retired: Option<&mut Vec<Retired>>) {
         self.now += 1;
         self.stats.cycles += 1;
         if let Some(t) = self.trace.as_mut() {
@@ -377,11 +458,11 @@ impl Core {
         // Resolve before retiring so a completing mispredicted branch
         // redirects the driver even if it also retires this cycle.
         self.resolve_redirect(driver);
-        self.retire(driver, retired);
+        let progressed = self.retire(driver, retired);
         self.issue();
         self.dispatch(driver);
         self.fetch(driver);
-        if !retired.is_empty() || self.halted {
+        if progressed || self.halted {
             self.last_progress = self.now;
         }
         assert!(
@@ -396,9 +477,10 @@ impl Core {
 
     // ---- retire ---------------------------------------------------------
 
-    fn retire(&mut self, driver: &mut dyn CoreDriver, out: &mut Vec<Retired>) {
+    fn retire(&mut self, driver: &mut dyn CoreDriver, mut out: Option<&mut Vec<Retired>>) -> bool {
         let cap = self.cfg.width.min(driver.retire_capacity());
-        while out.len() < cap {
+        let mut count = 0;
+        while count < cap {
             let ready = match self.rob.front() {
                 Some(e) => e.complete_cycle.is_some_and(|c| c <= self.now),
                 None => false,
@@ -426,13 +508,17 @@ impl Core {
                 self.halted = true;
             }
             self.stats.retired += 1;
+            count += 1;
             self.trace_event(EventKind::Retire, entry.rec.seq, entry.rec.pc, 0);
             driver.on_retire(&entry.rec, entry.meta);
-            out.push(entry.rec);
+            if let Some(out) = out.as_deref_mut() {
+                out.push(entry.rec);
+            }
             if self.halted {
                 break;
             }
         }
+        count > 0
     }
 
     // ---- redirect resolution -------------------------------------------
@@ -707,13 +793,13 @@ impl Core {
                 // Stop dispatching; everything younger is wrong-path.
                 self.pending_redirect = Some(self.next_rob_id - 1);
                 self.fetch_queue.clear();
-                self.pending_fetch = None;
+                self.fetch_block.clear();
                 break;
             }
             if matches!(item.instr.kind(), InstrKind::Halt) {
                 // Nothing meaningful follows; drop whatever was prefetched.
                 self.fetch_queue.clear();
-                self.pending_fetch = None;
+                self.fetch_block.clear();
                 break;
             }
         }
@@ -869,20 +955,26 @@ impl Core {
         // repeat access is always a hit plus an idempotent MRU move, and
         // nothing else touches the icache inside this burst.
         let mut probed_line: Option<u64> = None;
-        while let Some(item) = self.pending_fetch.take().or_else(|| driver.next_fetch()) {
+        loop {
+            // Pull a whole fetch group in one virtual call; unconsumed
+            // items stay in the block across cycles.
+            if self.fetch_block.is_empty() {
+                driver.next_fetch_block(&mut self.fetch_block, self.cfg.fetch_width);
+                if self.fetch_block.is_empty() {
+                    break;
+                }
+            }
+            let item = *self.fetch_block.peek().expect("block checked nonempty");
             if self.fetch_queue.len() >= self.cfg.fetch_queue {
-                self.pending_fetch = Some(item);
                 break;
             }
             // A new fetch block cannot start mid-cycle.
             if slots_used > 0 && item.new_block {
-                self.pending_fetch = Some(item);
                 break;
             }
             // Respect per-cycle fetch bandwidth (a single oversized skip
             // still goes through alone).
             if slots_used > 0 && slots_used + item.slot_cost > self.cfg.fetch_width as u32 {
-                self.pending_fetch = Some(item);
                 break;
             }
             // Instruction cache probe; a miss stalls fetch (the line fills
@@ -899,11 +991,11 @@ impl Core {
                     );
                     self.fetch_resume_cycle = self.now + fill;
                     self.trace_event(EventKind::IcacheMiss, NO_SEQ, item.pc, 0);
-                    self.pending_fetch = Some(item);
                     break;
                 }
                 probed_line = Some(line);
             }
+            self.fetch_block.advance();
             slots_used += item.slot_cost.max(1);
             let fetched_pc = item.pc;
             self.fetch_queue.push_back(item);

@@ -5,7 +5,7 @@
 //! directions.
 
 use slipstream_cpu::{
-    Core, CoreConfig, CoreDriver, DispatchHints, FetchItem, OracleDriver, StaticDriver,
+    Core, CoreConfig, CoreDriver, DispatchHints, FetchBlock, FetchItem, OracleDriver, StaticDriver,
 };
 use slipstream_isa::{assemble, ArchState, Program, Retired};
 
@@ -304,6 +304,9 @@ impl CoreDriver for ValuePredictedOracle {
     fn next_fetch(&mut self) -> Option<FetchItem> {
         self.0.next_fetch()
     }
+    fn next_fetch_block(&mut self, out: &mut FetchBlock, max: usize) {
+        self.0.next_fetch_block(out, max);
+    }
     fn on_redirect(&mut self, resolved: &Retired, meta: u64) {
         self.0.on_redirect(resolved, meta);
     }
@@ -343,6 +346,9 @@ struct GatedOracle(OracleDriver);
 impl CoreDriver for GatedOracle {
     fn next_fetch(&mut self) -> Option<FetchItem> {
         self.0.next_fetch()
+    }
+    fn next_fetch_block(&mut self, out: &mut FetchBlock, max: usize) {
+        self.0.next_fetch_block(out, max);
     }
     fn on_redirect(&mut self, resolved: &Retired, meta: u64) {
         self.0.on_redirect(resolved, meta);

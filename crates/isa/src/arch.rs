@@ -52,6 +52,15 @@ pub struct Retired {
     pub next_pc: u64,
 }
 
+// `Retired` is the hot-path payload: every simulated instruction is moved
+// through the retire queue, the per-cycle batch, and the delay buffer as
+// one of these. Growing it silently taxes every model, so any field
+// addition must consciously raise this pin.
+const _: () = assert!(
+    std::mem::size_of::<Retired>() <= 160,
+    "Retired grew past 160 bytes; shrink it or deliberately raise this pin"
+);
+
 impl Retired {
     /// Whether this record ends the program.
     pub fn is_halt(&self) -> bool {

@@ -44,7 +44,7 @@ static ZERO_PAGE: Page = [0; PAGE_SIZE];
 /// assert_eq!(mem.load_word(0x1000), 42);
 /// assert_eq!(mem.load_word(0x9999_0000), 0); // unmapped reads are zero
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Memory {
     /// Page number → slot in `pages`/`page_nos`.
     index: FastHashMap<u64, u32>,
@@ -55,6 +55,28 @@ pub struct Memory {
     /// Last page hit: `(page number, slot)` — a spatial-locality cache that
     /// skips the hash lookup for repeated accesses to one page.
     last: Cell<(u64, u32)>,
+}
+
+// Hand-written so `clone_from` reuses the destination's index and slot
+// vectors (the pages themselves are already shared copy-on-write):
+// checkpoint-heavy callers snapshot a `Memory` every window, and the
+// derived impl would re-allocate all three containers each time.
+impl Clone for Memory {
+    fn clone(&self) -> Memory {
+        Memory {
+            index: self.index.clone(),
+            pages: self.pages.clone(),
+            page_nos: self.page_nos.clone(),
+            last: self.last.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Memory) {
+        self.index.clone_from(&src.index);
+        self.pages.clone_from(&src.pages);
+        self.page_nos.clone_from(&src.page_nos);
+        self.last = src.last.clone();
+    }
 }
 
 impl Default for Memory {

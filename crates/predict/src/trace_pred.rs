@@ -31,10 +31,27 @@ impl Default for TracePredictorConfig {
 /// front end keeps two (speculative and committed); a slipstream processor
 /// keeps three (A-stream speculative, A-stream retired, R-stream
 /// committed) and re-synchronizes them at mispredictions and recoveries.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct PathHistory {
     ids: VecDeque<u64>,
     cap: usize,
+}
+
+// Hand-written so `clone_from` reuses the destination's ring buffer: the
+// slack-window scheduler snapshots histories every window, and the
+// derived impl would re-allocate each time.
+impl Clone for PathHistory {
+    fn clone(&self) -> PathHistory {
+        PathHistory {
+            ids: self.ids.clone(),
+            cap: self.cap,
+        }
+    }
+
+    fn clone_from(&mut self, src: &PathHistory) {
+        self.ids.clone_from(&src.ids);
+        self.cap = src.cap;
+    }
 }
 
 impl PathHistory {
