@@ -197,7 +197,7 @@ fn probe_removal(scale: f64, args: &[String]) {
                 r.cycles,
                 r.retired,
                 r.ipc(),
-                r.fetch_stall_cycles,
+                r.fetch_stall_cycles(),
                 r.rob_full_cycles,
                 r.dcache_misses,
                 r.branch_mispredicts
@@ -207,7 +207,7 @@ fn probe_removal(scale: f64, args: &[String]) {
                 a.cycles,
                 a.retired,
                 a.ipc(),
-                a.fetch_stall_cycles,
+                a.fetch_stall_cycles(),
                 a.rob_full_cycles,
                 a.branch_mispredicts
             );

@@ -22,7 +22,7 @@ pub mod shrink;
 pub mod trace_export;
 
 use slipstream_core::{
-    run_superscalar, BaselineStats, FaultTarget, RemovalPolicy, SlipstreamConfig,
+    run_superscalar, BaselineStats, CpiCat, FaultTarget, RemovalPolicy, SlipstreamConfig,
     SlipstreamProcessor, SlipstreamStats,
 };
 use slipstream_cpu::CoreConfig;
@@ -40,7 +40,7 @@ pub use fuzz::{
 };
 pub use shrink::{live_count, shrink, ShrinkOutcome};
 pub use trace_export::{
-    chrome_trace_json, first_divergence, lifecycles, metrics_json, pipeview_text,
+    chrome_trace_json, cpi_stack_obj, first_divergence, lifecycles, metrics_json, pipeview_text,
     trace_slipstream_run, violation_trace_text, Divergence, Lifecycle,
 };
 
@@ -352,6 +352,84 @@ pub fn paper_tables_json(rows: &[BenchRow], scale: f64) -> String {
         })
         .collect();
     figure_doc(scale, json::array(&rendered, 2), None)
+}
+
+// ---- CPI stacks (cycle-accounting document) -------------------------------
+
+/// Per-instruction CPI for one category: category cycles over retired
+/// instructions (the *full-program* dynamic count for slipstream cores).
+fn per_instr(cycles: u64, instrs: u64) -> f64 {
+    cycles as f64 / instrs.max(1) as f64
+}
+
+/// One benchmark's CPI-stack row: the slipstream A/R stacks and the
+/// SS(64x4) baseline stack (each asserted to sum to its core's cycle
+/// counter), plus the A-vs-baseline speedup attribution.
+fn cpi_row_json(r: &BenchRow) -> String {
+    let a = &r.slip.a_core;
+    let rr = &r.slip.r_core;
+    let base = &r.ss64.core;
+    for (label, s) in [("A", a), ("R", rr), ("SS64", base)] {
+        assert_eq!(
+            s.cpi.total(),
+            s.cycles,
+            "{}: {label} CPI stack does not sum to its cycle counter",
+            r.name
+        );
+    }
+    // Speedup attribution: for each category, cycles per *full-program*
+    // instruction in the baseline minus the same in the slipstream
+    // A-stream (the leading core, whose cycle count is the machine's
+    // completion time). A positive entry means the slipstream machine
+    // spends fewer cycles per program instruction in that category; the
+    // entries sum to `total_cpi_delta`, the whole CPI reduction, exactly.
+    let mut attr = json::Obj::new();
+    for cat in CpiCat::ALL {
+        let delta =
+            per_instr(base.cpi.get(cat), base.retired) - per_instr(a.cpi.get(cat), r.dynamic);
+        attr = attr.f64(cat.label(), delta, 5);
+    }
+    let total_delta = per_instr(base.cycles, base.retired) - per_instr(a.cycles, r.dynamic);
+    json::Obj::new()
+        .str("bench", r.name)
+        .raw("dynamic", r.dynamic)
+        .raw("ss64_cycles", base.cycles)
+        .raw("ss64", cpi_stack_obj(&base.cpi))
+        .raw("a_cycles", a.cycles)
+        .raw("a", cpi_stack_obj(&a.cpi))
+        .raw("r_cycles", rr.cycles)
+        .raw("r", cpi_stack_obj(&rr.cpi))
+        .f64("ss64_cpi", per_instr(base.cycles, base.retired), 4)
+        .f64("slip_cpi", per_instr(a.cycles, r.dynamic), 4)
+        .f64("total_cpi_delta", total_delta, 5)
+        .raw("speedup_attribution", attr.finish())
+        .finish()
+}
+
+/// The cycle-accounting document committed as `BENCH_cpi_stack.json`:
+/// per-benchmark A-stream, R-stream, and SS(64x4) CPI stacks (raw cycle
+/// counts per category — each object sums to its `*_cycles` field), with
+/// a per-category attribution of the slipstream speedup over SS(64x4).
+pub fn cpi_stack_json(rows: &[BenchRow], scale: f64) -> String {
+    let rendered: Vec<String> = rows.iter().map(cpi_row_json).collect();
+    figure_doc(scale, json::array(&rendered, 2), None)
+}
+
+/// The top `n` non-base cycle sinks of a stack, as `(label, % of cycles)`
+/// rows in descending order. Drives the `cpi_stack` binary's table and
+/// the documented per-benchmark sink summaries.
+pub fn top_sinks(stack: &slipstream_cpu::CpiStack, n: usize) -> Vec<(&'static str, f64)> {
+    let cycles = stack.total().max(1);
+    let mut rows: Vec<(&'static str, u64)> = stack
+        .entries()
+        .filter(|&(cat, count)| cat != CpiCat::Base && count > 0)
+        .map(|(cat, count)| (cat.label(), count))
+        .collect();
+    rows.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    rows.truncate(n);
+    rows.into_iter()
+        .map(|(label, count)| (label, 100.0 * count as f64 / cycles as f64))
+        .collect()
 }
 
 /// Writes `text` to `name` in the current directory (the convention all

@@ -425,12 +425,42 @@ fn sample_json(s: &IntervalSample) -> String {
         .f64("r_iq_full_frac", frac(s.r.iq_full_cycles, s.r.cycles), 4)
         .f64(
             "a_fetch_stall_frac",
-            frac(s.a.fetch_stall_cycles, s.a.cycles),
+            frac(s.a.fetch_stall_cycles(), s.a.cycles),
             4,
         )
         .f64(
             "r_fetch_stall_frac",
-            frac(s.r.fetch_stall_cycles, s.r.cycles),
+            frac(s.r.fetch_stall_cycles(), s.r.cycles),
+            4,
+        )
+        .f64(
+            "a_fetch_fill_frac",
+            frac(s.a.fetch_fill_stall_cycles, s.a.cycles),
+            4,
+        )
+        .f64(
+            "a_fetch_redirect_frac",
+            frac(s.a.fetch_redirect_stall_cycles, s.a.cycles),
+            4,
+        )
+        .f64(
+            "a_fetch_external_frac",
+            frac(s.a.fetch_external_stall_cycles, s.a.cycles),
+            4,
+        )
+        .f64(
+            "r_fetch_fill_frac",
+            frac(s.r.fetch_fill_stall_cycles, s.r.cycles),
+            4,
+        )
+        .f64(
+            "r_fetch_redirect_frac",
+            frac(s.r.fetch_redirect_stall_cycles, s.r.cycles),
+            4,
+        )
+        .f64(
+            "r_fetch_external_frac",
+            frac(s.r.fetch_external_stall_cycles, s.r.cycles),
             4,
         )
         .f64(
@@ -453,11 +483,35 @@ fn sample_json(s: &IntervalSample) -> String {
         .finish()
 }
 
-/// Renders the interval time-series as a standalone JSON document.
+/// One CPI stack as an inline JSON object, categories in display order.
+pub fn cpi_stack_obj(stack: &slipstream_cpu::CpiStack) -> String {
+    let mut o = Obj::new();
+    for (cat, n) in stack.entries() {
+        o = o.raw(cat.label(), n);
+    }
+    o.finish()
+}
+
+/// One row of the per-interval CPI-stack time-series: each core's
+/// interval stack next to its interval cycle count (the stack sums to it).
+fn cpi_sample_json(s: &IntervalSample) -> String {
+    Obj::new()
+        .raw("cycle", s.cycle)
+        .raw("a_cycles", s.a.cycles)
+        .raw("a", cpi_stack_obj(&s.a.cpi))
+        .raw("r_cycles", s.r.cycles)
+        .raw("r", cpi_stack_obj(&s.r.cpi))
+        .finish()
+}
+
+/// Renders the interval time-series as a standalone JSON document: the
+/// scalar `samples` series plus the stacked `cpi` series (per-interval
+/// A/R CPI stacks, each summing to that core's interval cycles).
 pub fn metrics_json(samples: &[IntervalSample]) -> String {
     format!(
-        "{{\n  \"samples\": {}\n}}\n",
+        "{{\n  \"samples\": {},\n  \"cpi\": {}\n}}\n",
         json::array(samples.iter().map(sample_json), 2),
+        json::array(samples.iter().map(cpi_sample_json), 2),
     )
 }
 

@@ -9,7 +9,9 @@
 use std::fs;
 use std::path::Path;
 
-use slipstream_bench::{evaluate_suite, fig6_json, fig7_json, fig8_json, paper_tables_json};
+use slipstream_bench::{
+    cpi_stack_json, evaluate_suite, fig6_json, fig7_json, fig8_json, paper_tables_json,
+};
 
 #[test]
 fn committed_figure_documents_match_regeneration() {
@@ -19,6 +21,7 @@ fn committed_figure_documents_match_regeneration() {
         ("BENCH_fig7.json", fig7_json(&rows, 1.0)),
         ("BENCH_fig8.json", fig8_json(&rows, 1.0)),
         ("BENCH_paper_tables.json", paper_tables_json(&rows, 1.0)),
+        ("BENCH_cpi_stack.json", cpi_stack_json(&rows, 1.0)),
     ];
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     for (name, regenerated) in docs {
@@ -30,7 +33,7 @@ fn committed_figure_documents_match_regeneration() {
             regenerated, committed,
             "{name} drifted from the committed anchor — if the timing change is \
              intentional, re-commit it via `cargo run --release -p slipstream-bench \
-             --bin paper_tables`"
+             --bin paper_tables` (plus `--bin cpi_stack` for the CPI document)"
         );
     }
 }

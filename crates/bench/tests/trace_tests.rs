@@ -103,6 +103,59 @@ fn traced_exports_are_deterministic_and_worker_count_independent() {
 }
 
 #[test]
+fn metrics_cpi_series_sums_per_interval_and_is_worker_count_independent() {
+    let program = kernel_program();
+    let trace = TraceConfig::flight(4_096).with_metrics(100);
+    let export = || {
+        let (halted, rec) =
+            trace_slipstream_run(SlipstreamConfig::cmp_2x64x4(), &program, BUDGET, trace)
+                .expect("clean program must not panic");
+        assert!(halted);
+        assert!(
+            !rec.samples.is_empty(),
+            "interval sampling produced samples"
+        );
+        // The interval deltas inherit the sums-to-total invariant: each
+        // core's per-interval stack equals its interval cycle count.
+        for s in &rec.samples {
+            assert_eq!(
+                s.a.cpi.total(),
+                s.a.cycles,
+                "A-stream interval stack must sum to interval cycles"
+            );
+            assert_eq!(
+                s.r.cpi.total(),
+                s.r.cycles,
+                "R-stream interval stack must sum to interval cycles"
+            );
+        }
+        metrics_json(&rec.samples)
+    };
+    let serial = export();
+    assert!(
+        serial.contains("\"cpi\": ["),
+        "metrics carry the CPI series"
+    );
+    assert!(
+        serial.contains("\"delay_empty\""),
+        "stacked rows name the accounting categories"
+    );
+    json::validate(&serial).expect("metrics export must be valid JSON");
+    // Same run on 4 concurrent workers: the CPI time-series is a pure
+    // function of simulated cycles, so it must be byte-identical.
+    let outputs: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4).map(|_| scope.spawn(export)).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for got in outputs {
+        assert_eq!(
+            got, serial,
+            "CPI time-series must be byte-identical across worker counts"
+        );
+    }
+}
+
+#[test]
 fn chrome_trace_of_a_tiny_program_round_trips_as_valid_json() {
     let program = kernel_program();
     let (halted, rec) = trace_slipstream_run(

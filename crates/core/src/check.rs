@@ -312,6 +312,50 @@ impl Invariant for StatsSanity {
     }
 }
 
+/// Invariant 4: exact cycle accounting — for both cores, the CPI stack's
+/// category sum equals the core's cycle counter (every cycle attributed to
+/// exactly one exclusive bucket), after a full run including whatever
+/// recoveries the program provoked. The aggressive config maximizes
+/// recovery traffic through the accounting paths.
+pub struct CycleAccounting;
+
+impl Invariant for CycleAccounting {
+    fn name(&self) -> &'static str {
+        "cycle-accounting"
+    }
+
+    fn check(&self, program: &Program, _golden: &ArchState, max_cycles: u64) -> Result<(), String> {
+        catch_check(|| {
+            let mut cfg = SlipstreamConfig::cmp_2x64x4();
+            cfg.confidence_threshold = 1; // provoke recoveries
+            let mut proc = SlipstreamProcessor::new(cfg, program);
+            if !proc.run(max_cycles) {
+                return Err(format!("did not halt within {max_cycles} cycles"));
+            }
+            for (label, core) in [("A", proc.a_core()), ("R", proc.r_core())] {
+                let s = core.stats();
+                if s.cpi.total() != s.cycles {
+                    return Err(format!(
+                        "{label}-stream CPI stack sums to {} but the core ran {} cycles",
+                        s.cpi.total(),
+                        s.cycles
+                    ));
+                }
+                let split = s.fetch_fill_stall_cycles
+                    + s.fetch_redirect_stall_cycles
+                    + s.fetch_external_stall_cycles;
+                if split > s.cycles {
+                    return Err(format!(
+                        "{label}-stream fetch-stall split {split} exceeds {} cycles",
+                        s.cycles
+                    ));
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
 /// The standard invariant set swept by the differential fuzzing campaign,
 /// in reporting order.
 pub fn standard_invariants() -> Vec<Box<dyn Invariant>> {
@@ -322,6 +366,7 @@ pub fn standard_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(SlipstreamOracle::ar_smt()),
         Box::new(SlipstreamOracle::aggressive()),
         Box::new(StatsSanity),
+        Box::new(CycleAccounting),
     ]
 }
 

@@ -19,7 +19,9 @@ fn debug_fe() -> bool {
     *ON.get_or_init(|| std::env::var_os("SLIP_DEBUG_FE").is_some())
 }
 
-use slipstream_cpu::{CoreDriver, EventKind, FetchBlock, FetchItem, TraceSink, NO_SEQ};
+use slipstream_cpu::{
+    CoreDriver, DriverStall, EventKind, FetchBlock, FetchItem, TraceSink, NO_SEQ,
+};
 use slipstream_isa::{Instr, Program, Retired};
 use slipstream_predict::{
     materialize_into, PathHistory, TraceId, TracePredictor, TracePredictorConfig,
@@ -778,6 +780,17 @@ impl CoreDriver for TraceFrontEnd {
 
     fn retire_capacity(&mut self) -> usize {
         self.retire_budget
+    }
+
+    fn stall_kind(&self) -> DriverStall {
+        // A zero retire budget means the delay buffer's control queue is
+        // full: the A-stream is throttled by the slipstream sync boundary
+        // (only meaningful when this front end emits delay entries).
+        if self.emit && self.retire_budget == 0 {
+            DriverStall::Backpressure
+        } else {
+            DriverStall::None
+        }
     }
 }
 

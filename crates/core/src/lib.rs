@@ -23,7 +23,8 @@ pub mod trace;
 
 pub use baseline::{run_superscalar, run_superscalar_with_core, BaselineStats};
 pub use check::{
-    catch_check, standard_invariants, CoreOracle, Invariant, SlipstreamOracle, StatsSanity,
+    catch_check, standard_invariants, CoreOracle, CycleAccounting, Invariant, SlipstreamOracle,
+    StatsSanity,
 };
 pub use config::{RemovalPolicy, SlipstreamConfig};
 pub use delay::{DelayBuffer, DelayEntry, TraceCommit};
@@ -38,7 +39,7 @@ pub use recovery::{RecoveryController, RecoveryOutcome};
 pub use removal::{Category, Reason};
 pub use rstream::{IrMispKind, RStreamDriver};
 pub use slipstream::{ExecMode, SlipstreamProcessor, SlipstreamStats};
-pub use slipstream_cpu::L2Config;
+pub use slipstream_cpu::{CpiCat, CpiStack, L2Config};
 pub use trace::{
     EventKind, FlightRecording, IntervalSample, IntervalSampler, StreamId, TraceConfig, TraceEvent,
     TraceSink, NO_SEQ,

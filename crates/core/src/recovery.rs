@@ -136,6 +136,10 @@ impl RecoveryController {
 
     /// Recovery latency for this event, per the paper's recovery pipeline:
     /// `startup + NUM_REGS/restores_per_cycle + mem/restores_per_cycle`.
+    ///
+    /// The schedulers impose this via `Core::stall_fetch_recovery`, so the
+    /// CPI stack attributes every one of these cycles to its `recovery`
+    /// bucket (not the generic external-stall bucket).
     pub fn latency(&self, startup: u64, per_cycle: u64) -> u64 {
         startup
             + (NUM_REGS as u64).div_ceil(per_cycle)

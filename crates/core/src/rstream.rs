@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use slipstream_cpu::{
-    CoreDriver, DispatchHints, EventKind, FetchBlock, FetchItem, TraceSink, NO_SEQ,
+    CoreDriver, DispatchHints, DriverStall, EventKind, FetchBlock, FetchItem, TraceSink, NO_SEQ,
 };
 use slipstream_isa::{MemWidth, Retired};
 
@@ -246,6 +246,20 @@ impl CoreDriver for RStreamDriver {
         // means the delay buffer's path diverged from the real program —
         // a removed branch was mispredicted (or worse).
         self.flag(IrMispKind::ControlDivergence { pc: resolved.pc });
+    }
+
+    fn stall_kind(&self) -> DriverStall {
+        // Frozen between IR-misprediction detection and the A-stream's
+        // squash: those cycles belong to recovery. Otherwise an empty
+        // delay buffer means the trailing core is starved behind the
+        // A-stream.
+        if self.frozen {
+            DriverStall::Frozen
+        } else if self.delay.is_empty() {
+            DriverStall::Starved
+        } else {
+            DriverStall::None
+        }
     }
 
     fn on_retire(&mut self, rec: &Retired, meta: u64) {

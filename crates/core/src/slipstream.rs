@@ -366,7 +366,7 @@ impl AHalf {
             self.fe.ir_table.penalize(key);
         }
         let resume = self.core.now() + cmd.latency;
-        self.core.stall_fetch_until(resume);
+        self.core.stall_fetch_recovery(resume);
         // The delay buffer was cleared on the R side; restart with a full
         // credit budget.
         self.data_occ = 0;
@@ -627,7 +627,7 @@ impl RHalf {
         let penalize: Vec<u64> = self.applied_pending.drain(..).map(|(key, _)| key).collect();
         self.drv.reset_for_recovery();
         let r_resume = self.core.now() + latency;
-        self.core.stall_fetch_until(r_resume);
+        self.core.stall_fetch_recovery(r_resume);
 
         self.ir_misps += 1;
         self.penalty_sum += latency;

@@ -86,6 +86,11 @@ pub fn misp_code_label(code: u64) -> &'static str {
 
 /// One point of the interval time-series: every counter is the *delta*
 /// accumulated over the `cycles`-long interval ending at `cycle`.
+///
+/// Because `a`/`r` are whole [`CoreStats`] deltas, each sample carries the
+/// per-interval CPI stacks (`a.cpi`/`r.cpi`, summing to that core's
+/// interval cycles) and the fetch-stall cause split — the stacked
+/// time-series the metrics export draws.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntervalSample {
     /// Cycle the interval ends at.
@@ -299,6 +304,47 @@ mod tests {
         assert_eq!(s.samples[1].value_hints, 15);
         assert_eq!(s.samples[1].delay_occupancy, 7);
         assert!((s.samples[1].ipc() - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_carries_cpi_stacks_and_stall_split_as_deltas() {
+        use slipstream_cpu::{CpiCat, CpiStack};
+        let mut s = IntervalSampler::new(10);
+        let fe = FrontEndStats::default();
+        let mut cpi1 = CpiStack::default();
+        for _ in 0..8 {
+            cpi1.charge(CpiCat::Base);
+        }
+        cpi1.charge(CpiCat::IcacheFill);
+        cpi1.charge(CpiCat::DelayEmpty);
+        let mut cpi2 = cpi1;
+        for _ in 0..7 {
+            cpi2.charge(CpiCat::Base);
+        }
+        for _ in 0..3 {
+            cpi2.charge(CpiCat::Recovery);
+        }
+        let at = |cycles, cpi, fill, ext| CoreStats {
+            cycles,
+            cpi,
+            fetch_fill_stall_cycles: fill,
+            fetch_external_stall_cycles: ext,
+            ..Default::default()
+        };
+        let quiet = CoreStats::default();
+        s.sample(10, &at(10, cpi1, 1, 0), &quiet, &fe, 0, 0, 0, 0);
+        s.sample(20, &at(20, cpi2, 1, 3), &quiet, &fe, 0, 0, 0, 0);
+        let second = &s.samples[1].a;
+        assert_eq!(second.cpi.get(CpiCat::Base), 7, "stack deltas, not totals");
+        assert_eq!(second.cpi.get(CpiCat::Recovery), 3);
+        assert_eq!(second.cpi.get(CpiCat::IcacheFill), 0);
+        assert_eq!(
+            second.cpi.total(),
+            second.cycles,
+            "per-interval stacks keep the sums-to-total invariant"
+        );
+        assert_eq!(second.fetch_fill_stall_cycles, 0);
+        assert_eq!(second.fetch_external_stall_cycles, 3);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! workload — including runs with IR-misprediction recoveries, injected
 //! faults, cycle-budget truncation, and chunked (stop/resume) driving.
 
-use slipstream_core::{ExecMode, SlipstreamConfig, SlipstreamProcessor, SlipstreamStats};
+use slipstream_core::{CpiCat, ExecMode, SlipstreamConfig, SlipstreamProcessor, SlipstreamStats};
 use slipstream_cpu::FaultSpec;
 use slipstream_isa::{assemble, Program};
 use slipstream_workloads::{benchmark, suite};
@@ -325,6 +325,95 @@ fn shared_l2_chunked_and_mixed_mode_driving() {
         &reference,
         &(p, got_stats),
     );
+}
+
+/// Asserts the exact cycle-accounting invariant on both cores: every
+/// category sum equals the core's cycle counter.
+fn assert_cpi_exact(name: &str, s: &SlipstreamStats) {
+    for (label, core) in [("A", &s.a_core), ("R", &s.r_core)] {
+        assert_eq!(
+            core.cpi.total(),
+            core.cycles,
+            "{name}: {label}-stream CPI stack sums to {} over {} cycles",
+            core.cpi.total(),
+            core.cycles
+        );
+    }
+}
+
+#[test]
+fn cpi_stacks_sum_to_cycles_and_match_across_schedulers() {
+    // The acceptance grid: every suite workload, with and without the
+    // shared L2, under all three schedulers — per-core category sums must
+    // equal `CoreStats::cycles` exactly, and the full stacks must be
+    // byte-identical to the serial reference.
+    for (tag, cfg) in [
+        ("private", SlipstreamConfig::cmp_2x64x4()),
+        ("shared-l2", SlipstreamConfig::cmp_shared_l2()),
+    ] {
+        for w in suite(0.1) {
+            let mut serial = SlipstreamProcessor::new(cfg.clone(), &w.program);
+            serial.run_mode(ExecMode::Serial, MAX_CYCLES);
+            let reference = serial.stats();
+            assert_cpi_exact(&format!("{} {tag} Serial", w.name), &reference);
+            assert!(
+                reference.r_core.cpi.get(CpiCat::Base) > 0,
+                "{}: a finished run must retire in some cycles",
+                w.name
+            );
+            for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+                let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+                p.run_mode(mode, MAX_CYCLES);
+                let got = p.stats();
+                assert_cpi_exact(&format!("{} {tag} {mode:?}", w.name), &got);
+                assert_eq!(
+                    reference.a_core.cpi, got.a_core.cpi,
+                    "{} {tag}: {mode:?} A-stream CPI stack diverged from serial",
+                    w.name
+                );
+                assert_eq!(
+                    reference.r_core.cpi, got.r_core.cpi,
+                    "{} {tag}: {mode:?} R-stream CPI stack diverged from serial",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cpi_stacks_exact_across_window_quanta() {
+    // The quantum grid {1, 7, 61, 256}: each quantum is its own
+    // architectural configuration (it bounds learning/arbitration
+    // visibility), so each gets its own serial reference; within a
+    // quantum, all schedulers must agree on the stacks exactly.
+    let w = benchmark("li", 0.1).unwrap();
+    for shared_l2 in [false, true] {
+        for quantum in [1usize, 7, 61, 256] {
+            let mut cfg = if shared_l2 {
+                SlipstreamConfig::cmp_shared_l2()
+            } else {
+                SlipstreamConfig::cmp_2x64x4()
+            };
+            cfg.sync_quantum = quantum;
+            let name = format!("li l2={shared_l2} q={quantum}");
+            let mut serial = SlipstreamProcessor::new(cfg.clone(), &w.program);
+            serial.run_mode(ExecMode::Serial, MAX_CYCLES);
+            let reference = serial.stats();
+            assert_cpi_exact(&format!("{name} Serial"), &reference);
+            for mode in [ExecMode::Windowed, ExecMode::Threaded] {
+                let mut p = SlipstreamProcessor::new(cfg.clone(), &w.program);
+                p.run_mode(mode, MAX_CYCLES);
+                let got = p.stats();
+                assert_cpi_exact(&format!("{name} {mode:?}"), &got);
+                assert_eq!(
+                    (reference.a_core.cpi, reference.r_core.cpi),
+                    (got.a_core.cpi, got.r_core.cpi),
+                    "{name}: {mode:?} CPI stacks diverged from serial"
+                );
+            }
+        }
+    }
 }
 
 #[test]

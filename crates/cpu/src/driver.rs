@@ -135,6 +135,27 @@ pub struct DispatchHints {
     pub src2_predicted: bool,
 }
 
+/// Why a driver is (or is about to be) withholding work from its core this
+/// cycle — a cycle-accounting hint sampled once at the top of every core
+/// cycle. It carries no timing information and the core makes no timing
+/// decision from it; it only routes otherwise-idle cycles to the right
+/// [`crate::CpiCat`] bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DriverStall {
+    /// Not stalled (or the driver doesn't report causes).
+    #[default]
+    None,
+    /// The driver has nothing to supply (e.g. the R-stream's delay buffer
+    /// is empty).
+    Starved,
+    /// Downstream back-pressure is throttling the core (e.g. the A-stream
+    /// blocked on a full delay buffer via `retire_capacity`).
+    Backpressure,
+    /// The stream is frozen pending recovery (e.g. the R-stream between
+    /// IR-misprediction detection and the A-stream's squash).
+    Frozen,
+}
+
 /// The control-flow and observation interface a [`crate::Core`] is driven
 /// by.
 ///
@@ -186,5 +207,13 @@ pub trait CoreDriver {
     /// the A-stream). Defaults to unlimited.
     fn retire_capacity(&mut self) -> usize {
         usize::MAX
+    }
+
+    /// Cycle-accounting hint: why the driver is withholding or throttling
+    /// work right now. Sampled once at the top of each core cycle, before
+    /// retire/fetch run; never read by any timing decision. Defaults to
+    /// [`DriverStall::None`].
+    fn stall_kind(&self) -> DriverStall {
+        DriverStall::None
     }
 }

@@ -131,6 +131,10 @@ pub struct L2View {
     line_shift: u32,
     hits: u64,
     misses: u64,
+    /// Cumulative cycles this core's fills waited for a port slot — the
+    /// L2-side total behind the per-core `port_stall_cycles` stat and the
+    /// CPI stack's `l2_port` bucket.
+    port_stall_cycles: u64,
 }
 
 // Hand-written so `clone_from` reuses the destination's vectors — the
@@ -149,6 +153,7 @@ impl Clone for L2View {
             line_shift: self.line_shift,
             hits: self.hits,
             misses: self.misses,
+            port_stall_cycles: self.port_stall_cycles,
         }
     }
 
@@ -164,6 +169,7 @@ impl Clone for L2View {
         self.line_shift = src.line_shift;
         self.hits = src.hits;
         self.misses = src.misses;
+        self.port_stall_cycles = src.port_stall_cycles;
     }
 }
 
@@ -183,6 +189,7 @@ impl L2View {
             line_shift: cfg.line_bytes.trailing_zeros(),
             hits: 0,
             misses: 0,
+            port_stall_cycles: 0,
             cfg,
         }
     }
@@ -205,6 +212,12 @@ impl L2View {
     /// L2 misses (memory fills) issued by this core.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Cumulative cycles this core's fills spent queued for a free
+    /// memory-port slot.
+    pub fn port_stall_cycles(&self) -> u64 {
+        self.port_stall_cycles
     }
 
     /// Services an L1 miss whose request reaches the L2 at `cycle`. Logs
@@ -237,6 +250,7 @@ impl L2View {
         let slot = earliest_slot(&self.port);
         let start = request.max(self.port[slot]);
         self.port[slot] = start + self.cfg.fill_latency;
+        self.port_stall_cycles += start - request;
         L2Outcome {
             hit: false,
             ready_at: start + self.cfg.fill_latency,

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accounting;
 mod cache;
 mod config;
 mod driver;
@@ -54,9 +55,10 @@ mod pipeline;
 mod stats;
 mod trace;
 
+pub use accounting::{CpiCat, CpiStack};
 pub use cache::{Cache, CacheConfig};
 pub use config::CoreConfig;
-pub use driver::{CoreDriver, DispatchHints, FetchBlock, FetchItem};
+pub use driver::{CoreDriver, DispatchHints, DriverStall, FetchBlock, FetchItem};
 pub use drivers::{OracleDriver, StaticDriver};
 pub use l2::{merge_l2_logs, L2Access, L2Config, L2Outcome, L2View};
 pub use pipeline::{Core, FaultSpec};

@@ -4,9 +4,10 @@ use slipstream_isa::{InstrKind, MemEffect, MemRead, MemWidth, Memory, Reg, Retir
 
 use slipstream_isa::ExecOut;
 
+use crate::accounting::{Accounting, CpiCat, StallCause};
 use crate::cache::Cache;
 use crate::config::CoreConfig;
-use crate::driver::{CoreDriver, DispatchHints, FetchBlock, FetchItem};
+use crate::driver::{CoreDriver, DispatchHints, DriverStall, FetchBlock, FetchItem};
 use crate::l2::{L2Access, L2View};
 use crate::stats::CoreStats;
 use crate::trace::{EventKind, TraceSink, NO_SEQ};
@@ -59,6 +60,10 @@ struct RobEntry {
     /// producers have a scheduled completion (producers complete exactly
     /// once, so the value never goes stale). `None` = not yet computable.
     ready_at: Option<u64>,
+    /// This entry is a load that missed in the data cache — while it sits
+    /// incomplete at the ROB head, the core is in a d-miss shadow
+    /// (cycle-accounting only; no timing decision reads it).
+    missed: bool,
 }
 
 /// Speculative (dispatch-time) view of data memory: architectural memory
@@ -159,6 +164,10 @@ pub struct Core {
     next_seq: u64,
     last_progress: u64,
     stats: CoreStats,
+    /// Cycle-accounting shadow state (stall-deadline mirrors, port debt,
+    /// per-cycle flags). Plain `Copy` data cloned with the core, so
+    /// checkpoints and rollback-replay reproduce attribution exactly.
+    acct: Accounting,
     /// Flight recorder; `None` (the default) records nothing and costs one
     /// predictable branch per event site.
     trace: Option<TraceSink>,
@@ -194,6 +203,7 @@ impl Clone for Core {
             next_seq: self.next_seq,
             last_progress: self.last_progress,
             stats: self.stats,
+            acct: self.acct,
             trace: self.trace.clone(),
         }
     }
@@ -224,6 +234,7 @@ impl Clone for Core {
         self.next_seq = src.next_seq;
         self.last_progress = src.last_progress;
         self.stats = src.stats;
+        self.acct = src.acct;
         self.trace.clone_from(&src.trace);
     }
 }
@@ -258,6 +269,7 @@ impl Core {
             next_seq: 0,
             last_progress: 0,
             stats: CoreStats::default(),
+            acct: Accounting::default(),
             trace: None,
         }
     }
@@ -411,15 +423,27 @@ impl Core {
         // post-flush fetch stream stalled behind its fill timer; the
         // recovery latency is re-imposed by `stall_fetch_until`.
         self.fetch_resume_cycle = self.now;
+        self.acct.clear_deadlines(self.now);
         self.stats.flushes += 1;
         self.trace_event(EventKind::Flush, NO_SEQ, 0, 0);
         self.last_progress = self.now;
     }
 
-    /// Holds the core idle (no fetch) until `cycle` — used to model the
-    /// recovery-pipeline latency.
+    /// Holds the core idle (no fetch) until `cycle`. Stall cycles spent
+    /// here are attributed to [`CpiCat::External`]; recovery latency should
+    /// use [`Core::stall_fetch_recovery`] instead.
     pub fn stall_fetch_until(&mut self, cycle: u64) {
         self.fetch_resume_cycle = self.fetch_resume_cycle.max(cycle);
+        self.acct.ext_until = self.acct.ext_until.max(cycle);
+        self.last_progress = self.last_progress.max(cycle);
+    }
+
+    /// [`Core::stall_fetch_until`] with the stall attributed to
+    /// [`CpiCat::Recovery`] — the IR-misprediction recovery pipeline.
+    /// Timing is identical; only the cycle-accounting bucket differs.
+    pub fn stall_fetch_recovery(&mut self, cycle: u64) {
+        self.fetch_resume_cycle = self.fetch_resume_cycle.max(cycle);
+        self.acct.recovery_until = self.acct.recovery_until.max(cycle);
         self.last_progress = self.last_progress.max(cycle);
     }
 
@@ -452,6 +476,12 @@ impl Core {
     fn cycle_inner(&mut self, driver: &mut dyn CoreDriver, retired: Option<&mut Vec<Retired>>) {
         self.now += 1;
         self.stats.cycles += 1;
+        self.acct.reset_cycle();
+        // Sampled before any stage runs, so the hint reflects the same
+        // driver state every scheduler sees at this cycle boundary.
+        let driver_stall = driver.stall_kind();
+        let dispatched_before = self.stats.dispatched;
+        let fetched_before = self.stats.fetched;
         if let Some(t) = self.trace.as_mut() {
             t.set_cycle(self.now);
         }
@@ -462,6 +492,13 @@ impl Core {
         self.issue();
         self.dispatch(driver);
         self.fetch(driver);
+        let cat = self.classify_cycle(progressed, driver_stall, dispatched_before, fetched_before);
+        self.stats.cpi.charge(cat);
+        debug_assert_eq!(
+            self.stats.cpi.total(),
+            self.stats.cycles,
+            "CPI stack out of sync with the cycle counter"
+        );
         if progressed || self.halted {
             self.last_progress = self.now;
         }
@@ -473,6 +510,79 @@ impl Core {
             self.rob.len(),
             self.rob.front().map(|e| e.rec.pc),
         );
+    }
+
+    /// Attributes this cycle to exactly one [`CpiCat`] — the sums-to-total
+    /// invariant holds by construction because every cycle takes exactly
+    /// one branch of this priority chain. Inputs are the per-cycle facts
+    /// the stages just recorded ([`Accounting`]) plus the driver hint
+    /// sampled at the top of the cycle; nothing here feeds back into
+    /// timing.
+    ///
+    /// Priority (first match wins): retirement → recovery (frozen stream
+    /// or recovery-pipeline stall) → d-miss shadow (L2-port debt burns
+    /// first) → sync-boundary wait → ROB full → IQ full → fetch stalls
+    /// (fill, again port-debt first / external / redirect) → delay-buffer
+    /// starvation → base.
+    fn classify_cycle(
+        &mut self,
+        retired_any: bool,
+        driver_stall: DriverStall,
+        dispatched_before: u64,
+        fetched_before: u64,
+    ) -> CpiCat {
+        if retired_any {
+            return CpiCat::Base;
+        }
+        if driver_stall == DriverStall::Frozen
+            || self.acct.fetch_stalled == Some(StallCause::Recovery)
+        {
+            return CpiCat::Recovery;
+        }
+        // An incomplete missed load at the ROB head blocks retirement no
+        // matter what the front of the pipe does: the d-miss shadow.
+        let head_missed = self
+            .rob
+            .front()
+            .is_some_and(|e| e.missed && e.complete_cycle.is_none_or(|c| c > self.now));
+        if head_missed {
+            if self.acct.port_debt > 0 {
+                self.acct.port_debt -= 1;
+                return CpiCat::L2Port;
+            }
+            return CpiCat::DcacheShadow;
+        }
+        if driver_stall == DriverStall::Backpressure && !self.rob.is_empty() {
+            return CpiCat::SyncWait;
+        }
+        if self.acct.rob_full {
+            return CpiCat::RobFull;
+        }
+        if self.acct.iq_full {
+            return CpiCat::IqFull;
+        }
+        match self.acct.fetch_stalled {
+            Some(StallCause::Fill) => {
+                // An icache fill that queued behind the shared memory port
+                // charges the queueing part to the port, like d-side fills.
+                if self.acct.port_debt > 0 {
+                    self.acct.port_debt -= 1;
+                    return CpiCat::L2Port;
+                }
+                return CpiCat::IcacheFill;
+            }
+            Some(StallCause::External | StallCause::Recovery) => return CpiCat::External,
+            Some(StallCause::Redirect) => return CpiCat::FetchRedirect,
+            None => {}
+        }
+        if driver_stall == DriverStall::Starved
+            && self.rob.is_empty()
+            && self.stats.dispatched == dispatched_before
+            && self.stats.fetched == fetched_before
+        {
+            return CpiCat::DelayEmpty;
+        }
+        CpiCat::Base
     }
 
     // ---- retire ---------------------------------------------------------
@@ -539,6 +649,10 @@ impl Core {
             self.pending_redirect = None;
             self.fetch_resume_cycle = self
                 .fetch_resume_cycle
+                .max(self.now + self.cfg.redirect_penalty);
+            self.acct.redirect_until = self
+                .acct
+                .redirect_until
                 .max(self.now + self.cfg.redirect_penalty);
             driver.on_redirect(&rec, meta);
         }
@@ -644,6 +758,7 @@ impl Core {
             self.trace_event(EventKind::L2Miss, seq, addr, addr);
             if out.port_stall > 0 {
                 self.stats.port_stall_cycles += out.port_stall;
+                self.acct.port_debt += out.port_stall;
                 self.trace_event(EventKind::PortStall, seq, addr, out.port_stall);
             }
         }
@@ -731,6 +846,7 @@ impl Core {
                     *slot = self.now + lat;
                     self.dcache.access(m.addr); // allocate the line
                     self.stats.dcache_misses += 1;
+                    self.rob[idx].missed = true;
                     self.trace_event(EventKind::DcacheMiss, rec.seq, rec.pc, m.addr);
                     lat
                 }
@@ -747,10 +863,12 @@ impl Core {
         for _ in 0..self.cfg.width {
             if self.rob.len() >= self.cfg.rob_size {
                 self.stats.rob_full_cycles += 1;
+                self.acct.rob_full = true;
                 break;
             }
             if self.unissued >= self.cfg.iq_size {
                 self.stats.iq_full_cycles += 1;
+                self.acct.iq_full = true;
                 break;
             }
             let Some(item) = self.fetch_queue.front().copied() else {
@@ -937,6 +1055,7 @@ impl Core {
             issued: false,
             complete_cycle: None,
             ready_at: None,
+            missed: false,
         });
     }
 
@@ -947,7 +1066,15 @@ impl Core {
             return;
         }
         if self.now < self.fetch_resume_cycle {
-            self.stats.fetch_stall_cycles += 1;
+            let cause = self.acct.stall_cause(self.now);
+            self.acct.fetch_stalled = Some(cause);
+            match cause {
+                StallCause::Fill => self.stats.fetch_fill_stall_cycles += 1,
+                StallCause::Redirect => self.stats.fetch_redirect_stall_cycles += 1,
+                StallCause::External | StallCause::Recovery => {
+                    self.stats.fetch_external_stall_cycles += 1
+                }
+            }
             return;
         }
         let mut slots_used: u32 = 0;
@@ -990,6 +1117,9 @@ impl Core {
                         NO_SEQ,
                     );
                     self.fetch_resume_cycle = self.now + fill;
+                    // Fetch only runs with every deadline expired, so a
+                    // plain assignment keeps the mirror exact.
+                    self.acct.fill_until = self.now + fill;
                     self.trace_event(EventKind::IcacheMiss, NO_SEQ, item.pc, 0);
                     break;
                 }

@@ -1,9 +1,12 @@
+use crate::accounting::CpiStack;
+
 /// Event and timing counters for one [`crate::Core`].
 ///
 /// These back every measurement in the paper's evaluation: IPC
 /// (`retired`/`cycles`), branch mispredictions per 1000 instructions
 /// (Table 3), and the cache/fetch diagnostics used to sanity-check the
-/// model.
+/// model. `cpi` is the exact cycle-accounting stack: every cycle lands in
+/// exactly one category and `cpi.total() == cycles` always holds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Simulated cycles.
@@ -35,15 +38,24 @@ pub struct CoreStats {
     pub rob_full_cycles: u64,
     /// Cycles dispatch was blocked because the issue queue was full.
     pub iq_full_cycles: u64,
-    /// Cycles fetch was stalled (cache miss fill, redirect penalty,
-    /// external stall).
-    pub fetch_stall_cycles: u64,
+    /// Cycles fetch was stalled behind an instruction-cache line fill.
+    pub fetch_fill_stall_cycles: u64,
+    /// Cycles fetch was stalled by the redirect penalty of a resolved
+    /// control misprediction.
+    pub fetch_redirect_stall_cycles: u64,
+    /// Cycles fetch was stalled by an externally imposed hold —
+    /// [`crate::Core::stall_fetch_until`] or the recovery-tagged
+    /// [`crate::Core::stall_fetch_recovery`] (the CPI stack separates the
+    /// two; this counter is their union).
+    pub fetch_external_stall_cycles: u64,
     /// Cycles in which at least one instruction was fetched.
     pub fetch_active_cycles: u64,
     /// External pipeline flushes (slipstream recovery events).
     pub flushes: u64,
     /// Transient faults injected into execution results.
     pub faults_injected: u64,
+    /// Exclusive per-cycle attribution; `cpi.total() == cycles`.
+    pub cpi: CpiStack,
     /// Cycle at which the armed transient fault fired (dispatched its
     /// target instruction); `None` if it never fired. Fault campaigns
     /// measure detection latency from this point.
@@ -73,49 +85,82 @@ impl CoreStats {
         }
     }
 
+    /// All fetch-stall cycles regardless of cause (the pre-split
+    /// aggregate, kept for coarse diagnostics).
+    pub fn fetch_stall_cycles(&self) -> u64 {
+        self.fetch_fill_stall_cycles
+            + self.fetch_redirect_stall_cycles
+            + self.fetch_external_stall_cycles
+    }
+
     /// Counters accumulated since `earlier` was snapshotted — the interval
     /// sampler's workhorse. Every cumulative counter is subtracted
     /// (saturating, so a stale snapshot cannot underflow); the fault-fire
     /// markers are kept only if the fault fired *inside* the interval.
+    ///
+    /// Destructuring without `..` is deliberate: adding a `CoreStats`
+    /// field without deciding its delta/merge behaviour fails to compile
+    /// here, instead of silently dropping the new counter.
     pub fn delta(&self, earlier: &CoreStats) -> CoreStats {
+        let CoreStats {
+            cycles,
+            dispatched,
+            retired,
+            fetched,
+            cond_branches,
+            branch_mispredicts,
+            jump_mispredicts,
+            icache_misses,
+            dcache_misses,
+            l2_hits,
+            l2_misses,
+            port_stall_cycles,
+            rob_full_cycles,
+            iq_full_cycles,
+            fetch_fill_stall_cycles,
+            fetch_redirect_stall_cycles,
+            fetch_external_stall_cycles,
+            fetch_active_cycles,
+            flushes,
+            faults_injected,
+            cpi,
+            fault_fired_cycle,
+            fault_fired_seq,
+        } = *self;
         CoreStats {
-            cycles: self.cycles.saturating_sub(earlier.cycles),
-            dispatched: self.dispatched.saturating_sub(earlier.dispatched),
-            retired: self.retired.saturating_sub(earlier.retired),
-            fetched: self.fetched.saturating_sub(earlier.fetched),
-            cond_branches: self.cond_branches.saturating_sub(earlier.cond_branches),
-            branch_mispredicts: self
-                .branch_mispredicts
-                .saturating_sub(earlier.branch_mispredicts),
-            jump_mispredicts: self
-                .jump_mispredicts
-                .saturating_sub(earlier.jump_mispredicts),
-            icache_misses: self.icache_misses.saturating_sub(earlier.icache_misses),
-            dcache_misses: self.dcache_misses.saturating_sub(earlier.dcache_misses),
-            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
-            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
-            port_stall_cycles: self
-                .port_stall_cycles
-                .saturating_sub(earlier.port_stall_cycles),
-            rob_full_cycles: self.rob_full_cycles.saturating_sub(earlier.rob_full_cycles),
-            iq_full_cycles: self.iq_full_cycles.saturating_sub(earlier.iq_full_cycles),
-            fetch_stall_cycles: self
-                .fetch_stall_cycles
-                .saturating_sub(earlier.fetch_stall_cycles),
-            fetch_active_cycles: self
-                .fetch_active_cycles
-                .saturating_sub(earlier.fetch_active_cycles),
-            flushes: self.flushes.saturating_sub(earlier.flushes),
-            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
-            fault_fired_cycle: if self.fault_fired_cycle == earlier.fault_fired_cycle {
+            cycles: cycles.saturating_sub(earlier.cycles),
+            dispatched: dispatched.saturating_sub(earlier.dispatched),
+            retired: retired.saturating_sub(earlier.retired),
+            fetched: fetched.saturating_sub(earlier.fetched),
+            cond_branches: cond_branches.saturating_sub(earlier.cond_branches),
+            branch_mispredicts: branch_mispredicts.saturating_sub(earlier.branch_mispredicts),
+            jump_mispredicts: jump_mispredicts.saturating_sub(earlier.jump_mispredicts),
+            icache_misses: icache_misses.saturating_sub(earlier.icache_misses),
+            dcache_misses: dcache_misses.saturating_sub(earlier.dcache_misses),
+            l2_hits: l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: l2_misses.saturating_sub(earlier.l2_misses),
+            port_stall_cycles: port_stall_cycles.saturating_sub(earlier.port_stall_cycles),
+            rob_full_cycles: rob_full_cycles.saturating_sub(earlier.rob_full_cycles),
+            iq_full_cycles: iq_full_cycles.saturating_sub(earlier.iq_full_cycles),
+            fetch_fill_stall_cycles: fetch_fill_stall_cycles
+                .saturating_sub(earlier.fetch_fill_stall_cycles),
+            fetch_redirect_stall_cycles: fetch_redirect_stall_cycles
+                .saturating_sub(earlier.fetch_redirect_stall_cycles),
+            fetch_external_stall_cycles: fetch_external_stall_cycles
+                .saturating_sub(earlier.fetch_external_stall_cycles),
+            fetch_active_cycles: fetch_active_cycles.saturating_sub(earlier.fetch_active_cycles),
+            flushes: flushes.saturating_sub(earlier.flushes),
+            faults_injected: faults_injected.saturating_sub(earlier.faults_injected),
+            cpi: cpi.delta(&earlier.cpi),
+            fault_fired_cycle: if fault_fired_cycle == earlier.fault_fired_cycle {
                 None
             } else {
-                self.fault_fired_cycle
+                fault_fired_cycle
             },
-            fault_fired_seq: if self.fault_fired_seq == earlier.fault_fired_seq {
+            fault_fired_seq: if fault_fired_seq == earlier.fault_fired_seq {
                 None
             } else {
-                self.fault_fired_seq
+                fault_fired_seq
             },
         }
     }
@@ -123,7 +168,34 @@ impl CoreStats {
     /// Sums `other` into a combined view (aggregate stats across cores or
     /// runs). Counters add; of the fault-fire markers the earliest fire
     /// wins, matching campaign attribution which keys off the first fire.
+    ///
+    /// Same exhaustive-destructuring guard as [`CoreStats::delta`].
     pub fn merge(&self, other: &CoreStats) -> CoreStats {
+        let CoreStats {
+            cycles,
+            dispatched,
+            retired,
+            fetched,
+            cond_branches,
+            branch_mispredicts,
+            jump_mispredicts,
+            icache_misses,
+            dcache_misses,
+            l2_hits,
+            l2_misses,
+            port_stall_cycles,
+            rob_full_cycles,
+            iq_full_cycles,
+            fetch_fill_stall_cycles,
+            fetch_redirect_stall_cycles,
+            fetch_external_stall_cycles,
+            fetch_active_cycles,
+            flushes,
+            faults_injected,
+            cpi,
+            fault_fired_cycle: _,
+            fault_fired_seq: _,
+        } = *self;
         let (fault_fired_cycle, fault_fired_seq) =
             match (self.fault_fired_cycle, other.fault_fired_cycle) {
                 (Some(a), Some(b)) if b < a => (other.fault_fired_cycle, other.fault_fired_seq),
@@ -132,24 +204,29 @@ impl CoreStats {
                 (None, None) => (None, None),
             };
         CoreStats {
-            cycles: self.cycles + other.cycles,
-            dispatched: self.dispatched + other.dispatched,
-            retired: self.retired + other.retired,
-            fetched: self.fetched + other.fetched,
-            cond_branches: self.cond_branches + other.cond_branches,
-            branch_mispredicts: self.branch_mispredicts + other.branch_mispredicts,
-            jump_mispredicts: self.jump_mispredicts + other.jump_mispredicts,
-            icache_misses: self.icache_misses + other.icache_misses,
-            dcache_misses: self.dcache_misses + other.dcache_misses,
-            l2_hits: self.l2_hits + other.l2_hits,
-            l2_misses: self.l2_misses + other.l2_misses,
-            port_stall_cycles: self.port_stall_cycles + other.port_stall_cycles,
-            rob_full_cycles: self.rob_full_cycles + other.rob_full_cycles,
-            iq_full_cycles: self.iq_full_cycles + other.iq_full_cycles,
-            fetch_stall_cycles: self.fetch_stall_cycles + other.fetch_stall_cycles,
-            fetch_active_cycles: self.fetch_active_cycles + other.fetch_active_cycles,
-            flushes: self.flushes + other.flushes,
-            faults_injected: self.faults_injected + other.faults_injected,
+            cycles: cycles + other.cycles,
+            dispatched: dispatched + other.dispatched,
+            retired: retired + other.retired,
+            fetched: fetched + other.fetched,
+            cond_branches: cond_branches + other.cond_branches,
+            branch_mispredicts: branch_mispredicts + other.branch_mispredicts,
+            jump_mispredicts: jump_mispredicts + other.jump_mispredicts,
+            icache_misses: icache_misses + other.icache_misses,
+            dcache_misses: dcache_misses + other.dcache_misses,
+            l2_hits: l2_hits + other.l2_hits,
+            l2_misses: l2_misses + other.l2_misses,
+            port_stall_cycles: port_stall_cycles + other.port_stall_cycles,
+            rob_full_cycles: rob_full_cycles + other.rob_full_cycles,
+            iq_full_cycles: iq_full_cycles + other.iq_full_cycles,
+            fetch_fill_stall_cycles: fetch_fill_stall_cycles + other.fetch_fill_stall_cycles,
+            fetch_redirect_stall_cycles: fetch_redirect_stall_cycles
+                + other.fetch_redirect_stall_cycles,
+            fetch_external_stall_cycles: fetch_external_stall_cycles
+                + other.fetch_external_stall_cycles,
+            fetch_active_cycles: fetch_active_cycles + other.fetch_active_cycles,
+            flushes: flushes + other.flushes,
+            faults_injected: faults_injected + other.faults_injected,
+            cpi: cpi.merge(&other.cpi),
             fault_fired_cycle,
             fault_fired_seq,
         }
@@ -159,6 +236,7 @@ impl CoreStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accounting::CpiCat;
 
     #[test]
     fn ipc_and_rates() {
@@ -181,6 +259,11 @@ mod tests {
 
     #[test]
     fn delta_subtracts_every_cumulative_counter() {
+        let mut earlier_cpi = CpiStack::default();
+        earlier_cpi.charge(CpiCat::Base);
+        let mut later_cpi = earlier_cpi;
+        later_cpi.charge(CpiCat::IcacheFill);
+        later_cpi.charge(CpiCat::Base);
         let earlier = CoreStats {
             cycles: 100,
             dispatched: 220,
@@ -196,10 +279,13 @@ mod tests {
             port_stall_cycles: 30,
             rob_full_cycles: 11,
             iq_full_cycles: 4,
-            fetch_stall_cycles: 9,
+            fetch_fill_stall_cycles: 5,
+            fetch_redirect_stall_cycles: 3,
+            fetch_external_stall_cycles: 1,
             fetch_active_cycles: 80,
             flushes: 1,
             faults_injected: 0,
+            cpi: earlier_cpi,
             fault_fired_cycle: None,
             fault_fired_seq: None,
         };
@@ -218,10 +304,13 @@ mod tests {
             port_stall_cycles: 75,
             rob_full_cycles: 20,
             iq_full_cycles: 6,
-            fetch_stall_cycles: 15,
+            fetch_fill_stall_cycles: 8,
+            fetch_redirect_stall_cycles: 5,
+            fetch_external_stall_cycles: 2,
             fetch_active_cycles: 115,
             flushes: 3,
             faults_injected: 1,
+            cpi: later_cpi,
             fault_fired_cycle: Some(120),
             fault_fired_seq: Some(250),
         };
@@ -240,10 +329,14 @@ mod tests {
         assert_eq!(d.port_stall_cycles, 45);
         assert_eq!(d.rob_full_cycles, 9);
         assert_eq!(d.iq_full_cycles, 2);
-        assert_eq!(d.fetch_stall_cycles, 6);
+        assert_eq!(d.fetch_fill_stall_cycles, 3);
+        assert_eq!(d.fetch_redirect_stall_cycles, 2);
+        assert_eq!(d.fetch_external_stall_cycles, 1);
         assert_eq!(d.fetch_active_cycles, 35);
         assert_eq!(d.flushes, 2);
         assert_eq!(d.faults_injected, 1);
+        assert_eq!(d.cpi.get(CpiCat::Base), 1);
+        assert_eq!(d.cpi.get(CpiCat::IcacheFill), 1);
         assert_eq!(d.fault_fired_cycle, Some(120), "fire inside interval kept");
         assert_eq!(d.fault_fired_seq, Some(250));
         // Fire before the snapshot is not re-reported in the next interval.
@@ -252,17 +345,43 @@ mod tests {
     }
 
     #[test]
+    fn fetch_stall_aggregate_sums_the_split_causes() {
+        let s = CoreStats {
+            fetch_fill_stall_cycles: 4,
+            fetch_redirect_stall_cycles: 2,
+            fetch_external_stall_cycles: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.fetch_stall_cycles(), 7);
+    }
+
+    #[test]
     fn delta_then_merge_round_trips() {
+        let mut earlier_cpi = CpiStack::default();
+        earlier_cpi.charge(CpiCat::Base);
+        earlier_cpi.charge(CpiCat::SyncWait);
+        let mut later_cpi = earlier_cpi;
+        later_cpi.charge(CpiCat::Recovery);
+        later_cpi.charge(CpiCat::DelayEmpty);
+        later_cpi.charge(CpiCat::Base);
         let earlier = CoreStats {
             cycles: 40,
             retired: 90,
             dcache_misses: 3,
+            fetch_fill_stall_cycles: 2,
+            fetch_redirect_stall_cycles: 1,
+            fetch_external_stall_cycles: 4,
+            cpi: earlier_cpi,
             ..Default::default()
         };
         let later = CoreStats {
             cycles: 100,
             retired: 250,
             dcache_misses: 9,
+            fetch_fill_stall_cycles: 6,
+            fetch_redirect_stall_cycles: 3,
+            fetch_external_stall_cycles: 9,
+            cpi: later_cpi,
             fault_fired_cycle: Some(77),
             fault_fired_seq: Some(140),
             ..Default::default()

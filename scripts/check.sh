@@ -28,4 +28,7 @@ cargo run --release -q -p slipstream-bench --bin trace_dump -- --smoke
 echo "==> throughput smoke (simulator-speed regression gate vs committed BENCH_throughput.json)"
 cargo run --release -q -p slipstream-bench --bin throughput -- --smoke
 
+echo "==> cpi-stack smoke (cycle-accounting drift gate vs committed BENCH_cpi_stack.json)"
+cargo run --release -q -p slipstream-bench --bin cpi_stack -- --smoke
+
 echo "OK"
