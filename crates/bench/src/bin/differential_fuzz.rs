@@ -11,7 +11,7 @@
 //! ```text
 //! differential_fuzz [--seeds N] [--workers W] [--seed X] [--out PATH]
 //!                   [--smoke] [--scaling-probe] [--emit-corpus] [--trace]
-//!                   [--corpus DIR] [--replay PATH]
+//!                   [--corpus DIR] [--replay PATH] [--telemetry PATH]
 //! ```
 //!
 //! `--smoke` runs the reduced-scale CI gate (≤ 10 s): same code path,
@@ -22,16 +22,20 @@
 //! at 1 worker and asserts the rows are byte-identical. `--trace` writes a
 //! flight-recorder trace of each violation's minimized program next to its
 //! `.ssir` reproducer, headed by the first divergent event against the
-//! functional oracle (implies writing the reproducers too).
+//! functional oracle (implies writing the reproducers too). `--telemetry
+//! PATH` collects host telemetry (per-seed and shrink-pass spans, fuzz
+//! counters, worker gauge) during the sweep and writes it to `PATH` as
+//! JSONL for `telemetry_report`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use slipstream_bench::{
-    corpus_entry_text, json, replay_corpus_dir, replay_corpus_file, run_fuzz, write_corpus_traced,
-    FuzzConfig, FuzzResult,
+    corpus_entry_text, json, replay_corpus_dir, replay_corpus_file, run_fuzz, run_fuzz_telemetry,
+    to_jsonl, write_corpus_traced, FuzzConfig, FuzzResult,
 };
 use slipstream_core::standard_invariants;
+use slipstream_core::telemetry::{RunManifest, Telemetry};
 
 /// The checked-in regression corpus, relative to the workspace root.
 const DEFAULT_CORPUS: &str = "crates/bench/corpus";
@@ -57,6 +61,7 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut scaling_probe = false;
     let mut replay: Option<PathBuf> = None;
+    let mut tel_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -107,6 +112,10 @@ fn main() -> ExitCode {
                 replay = Some(PathBuf::from(value(i)));
                 i += 2;
             }
+            "--telemetry" => {
+                tel_path = Some(value(i).clone());
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -123,8 +132,19 @@ fn main() -> ExitCode {
         cfg.workers,
     );
     let invariants = standard_invariants();
-    let result = run_fuzz(&cfg, &invariants);
+    let mut tel = tel_path.as_ref().map(|_| Telemetry::new());
+    let result = run_fuzz_telemetry(&cfg, &invariants, tel.as_mut());
     print_report(&result);
+
+    if let (Some(path), Some(tel)) = (&tel_path, &tel) {
+        let manifest = RunManifest::new("differential_fuzz", "fuzz", &format!("{cfg:?}"))
+            .label("workers", cfg.workers)
+            .label("seeds", cfg.seeds)
+            .label("seed", format!("{:#x}", cfg.seed));
+        std::fs::write(path, to_jsonl(&tel.snapshot(&manifest)))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 
     // Replay the checked-in corpus alongside every sweep: old minimized
     // reproducers must stay fixed.

@@ -12,7 +12,7 @@
 //! fault_campaign [--sites N] [--workers W] [--scale S] [--seed X]
 //!                [--out PATH] [--smoke] [--scaling-probe]
 //!                [--trace DIR] [--trace-bench NAME] [--ring N]
-//!                [--metrics-interval N]
+//!                [--metrics-interval N] [--telemetry PATH]
 //! ```
 //!
 //! `--smoke` runs the reduced-scale CI gate (≤ 10 s): same code path, few
@@ -23,14 +23,19 @@
 //! detected+recovered site of `--trace-bench` (default: the first
 //! benchmark) for each target with the flight recorder frozen just after
 //! the detection, and dumps the Chrome trace + pipeview (+ metrics when
-//! `--metrics-interval` is nonzero) into `DIR`.
+//! `--metrics-interval` is nonzero) into `DIR`. `--telemetry PATH`
+//! collects host telemetry (per-site spans, campaign counters, worker
+//! gauge) during the sweep and writes it to `PATH` as JSONL for
+//! `telemetry_report`.
 
 use std::path::PathBuf;
 
 use slipstream_bench::{
     chrome_trace_json, json, metrics_json, pipeview_text, print_campaign_table, run_campaign,
-    target_label, trace_first_detection, CampaignConfig, CampaignResult, TARGETS,
+    run_campaign_telemetry, target_label, to_jsonl, trace_first_detection, CampaignConfig,
+    CampaignResult, TARGETS,
 };
+use slipstream_core::telemetry::{RunManifest, Telemetry};
 use slipstream_core::{FaultTarget, TraceConfig};
 use slipstream_workloads::BENCHMARK_NAMES;
 
@@ -55,6 +60,7 @@ fn main() {
     let mut trace_bench = BENCHMARK_NAMES[0];
     let mut ring = 65_536usize;
     let mut metrics_interval = 0u64;
+    let mut tel_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -114,6 +120,10 @@ fn main() {
                 metrics_interval = value(i).parse().expect("--metrics-interval: integer");
                 i += 2;
             }
+            "--telemetry" => {
+                tel_path = Some(value(i).clone());
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -127,8 +137,20 @@ fn main() {
         cfg.seed,
         cfg.workers,
     );
-    let result = run_campaign(&cfg, &BENCHMARK_NAMES, &TARGETS);
+    let mut tel = tel_path.as_ref().map(|_| Telemetry::new());
+    let result = run_campaign_telemetry(&cfg, &BENCHMARK_NAMES, &TARGETS, tel.as_mut());
     print_campaign_table(&result);
+
+    if let (Some(path), Some(tel)) = (&tel_path, &tel) {
+        let manifest = RunManifest::new("fault_campaign", "campaign", &format!("{cfg:?}"))
+            .label("workers", cfg.workers)
+            .label("sites_per_target", cfg.sites_per_target)
+            .label("scale", cfg.scale)
+            .label("seed", format!("{:#x}", cfg.seed));
+        std::fs::write(path, to_jsonl(&tel.snapshot(&manifest)))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 
     if smoke {
         smoke_assertions(&result);

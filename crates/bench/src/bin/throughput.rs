@@ -20,11 +20,18 @@
 //! - `slipstream-threaded` — CMP(2x64x4), two OS threads over the SPSC
 //!   ring (only with `--parallel-cores`)
 //!
-//! Usage: `throughput [scale] [reps] [--parallel-cores] [--smoke]`
+//! Usage: `throughput [scale] [reps] [--parallel-cores] [--smoke]
+//! [--telemetry DIR]`
 //!
 //! - `scale` stretches the workload suite (default 1.0), `reps` is runs
 //!   per measurement (default 3).
 //! - `--parallel-cores` adds the `slipstream-threaded` rows.
+//! - `--telemetry DIR` runs one extra telemetry-enabled suite pass per
+//!   slipstream model *after* the timed rows (so instrumentation cannot
+//!   perturb the measurements) and writes
+//!   `DIR/throughput_<model>.telemetry.jsonl` plus Prometheus text
+//!   exposition `.prom` per model, anchored to this run's calibration
+//!   row. `BENCH_throughput.json` is unaffected.
 //! - `--smoke` is the CI regression gate: a quick reduced-scale pass
 //!   (scale 0.2, reps 1, all models) that does NOT overwrite
 //!   `BENCH_throughput.json`; instead it compares the measured per-model
@@ -87,7 +94,8 @@ mod alloc_counter {
 #[global_allocator]
 static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
-use slipstream_bench::{json, MAX_CYCLES};
+use slipstream_bench::{json, to_jsonl, MAX_CYCLES};
+use slipstream_core::telemetry::{validate_exposition, RunManifest, Telemetry};
 use slipstream_core::{run_superscalar, ExecMode, SlipstreamConfig, SlipstreamProcessor};
 use slipstream_cpu::CoreConfig;
 use slipstream_isa::assemble;
@@ -216,6 +224,12 @@ fn alloc_gate_run(scale: f64) -> (u64, u64) {
     let cfg = SlipstreamConfig::cmp_2x64x4();
     let before = alloc_counter::calls();
     let mut proc = SlipstreamProcessor::new(cfg, &w.program);
+    // The committed ceiling describes the telemetry-OFF path; the
+    // instrumentation's zero-cost-when-off claim is gated exactly here.
+    assert!(
+        !proc.telemetry_enabled(),
+        "allocation gate must measure the telemetry-off path"
+    );
     assert!(
         proc.run_mode(ExecMode::Windowed, MAX_CYCLES),
         "{}: allocation-gate run did not complete",
@@ -301,6 +315,61 @@ fn measure(
     }
 }
 
+/// The `--telemetry DIR` pass: one telemetry-enabled suite run per
+/// slipstream model (the SS(64x4) baseline has no scheduler to profile),
+/// merged across workloads into a single registry per model and written
+/// as JSONL + Prometheus exposition. Runs after every timed measurement.
+fn telemetry_pass(
+    dir: &str,
+    workloads: &[Workload],
+    model_list: &[(&'static str, Option<ExecMode>, bool)],
+    cfg: &SlipstreamConfig,
+    scale: f64,
+    calibration_anchor: Option<f64>,
+) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {dir}: {e}"));
+    for &(model, mode, shared_l2) in model_list {
+        let Some(mode) = mode else {
+            continue;
+        };
+        let run_cfg = if shared_l2 {
+            SlipstreamConfig::cmp_shared_l2()
+        } else {
+            cfg.clone()
+        };
+        let mut merged = Telemetry::new();
+        for w in workloads {
+            let mut proc = SlipstreamProcessor::new(run_cfg.clone(), &w.program);
+            proc.enable_telemetry();
+            assert!(
+                proc.run_mode(mode, MAX_CYCLES),
+                "{}: {model} telemetry pass did not complete",
+                w.name
+            );
+            merged.merge(&proc.take_telemetry().expect("telemetry was enabled"));
+        }
+        let scheduler = match mode {
+            ExecMode::Serial => "serial",
+            ExecMode::Windowed => "windowed",
+            ExecMode::Threaded => "threaded",
+        };
+        let manifest = RunManifest::new("throughput", scheduler, &format!("{run_cfg:?}"))
+            .label("model", model)
+            .label("scale", scale)
+            .calibration(calibration_anchor);
+        let snap = merged.snapshot(&manifest);
+        let base = format!("{dir}/throughput_{model}.telemetry");
+        std::fs::write(format!("{base}.jsonl"), to_jsonl(&snap))
+            .unwrap_or_else(|e| panic!("write {base}.jsonl: {e}"));
+        let prom = snap.prometheus_text();
+        validate_exposition(&prom)
+            .unwrap_or_else(|e| panic!("{model}: emitted exposition is invalid: {e}"));
+        std::fs::write(format!("{base}.prom"), prom)
+            .unwrap_or_else(|e| panic!("write {base}.prom: {e}"));
+        eprintln!("wrote {base}.jsonl and {base}.prom");
+    }
+}
+
 /// Per-model totals (instructions, seconds) over a row set.
 fn model_totals<'a>(rows: impl Iterator<Item = &'a Measurement>) -> Vec<(&'static str, u64, f64)> {
     let mut totals: Vec<(&'static str, u64, f64)> = Vec::new();
@@ -369,14 +438,26 @@ fn main() {
     let mut reps: Option<u32> = None;
     let mut smoke = false;
     let mut parallel_cores = false;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
+    let mut tel_dir: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--smoke" => smoke = true,
             "--parallel-cores" => parallel_cores = true,
+            "--telemetry" => {
+                i += 1;
+                tel_dir = Some(
+                    args.get(i)
+                        .expect("--telemetry needs a directory argument")
+                        .clone(),
+                );
+            }
             s if scale.is_none() => scale = Some(s.parse().expect("scale must be a number")),
             s if reps.is_none() => reps = Some(s.parse().expect("reps must be an integer")),
             s => panic!("unexpected argument: {s}"),
         }
+        i += 1;
     }
     // Smoke mode measures every model: the regression gate should catch a
     // slowdown in any scheduler, not just the default.
@@ -464,6 +545,14 @@ fn main() {
         "alloc-gate  {:<20} {alloc_per_10k:>12.2} marginal heap allocs / 10k retired",
         "slipstream-window"
     );
+
+    if let Some(dir) = &tel_dir {
+        let anchor = totals
+            .iter()
+            .find(|(m, _, _)| *m == "calibration")
+            .map(|&(_, instrs, secs)| instrs as f64 / secs);
+        telemetry_pass(dir, &workloads, &model_list, &cfg, scale, anchor);
+    }
 
     if smoke {
         // Regression gate: compare per-model simulation speed against the

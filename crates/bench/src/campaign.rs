@@ -30,6 +30,7 @@ use slipstream_core::{
 };
 use slipstream_cpu::FaultSpec;
 use slipstream_isa::ArchState;
+use slipstream_telemetry::{CounterKind, GaugeKind, HistKind, SpanKind, Telemetry};
 use slipstream_workloads::{benchmark, Workload, XorShift64Star};
 
 use crate::{json, MAX_CYCLES};
@@ -437,44 +438,75 @@ fn run_sites(
     sites: &[(usize, InjectionSite)],
     workers: usize,
     max_cycles: u64,
+    tel: Option<&mut Telemetry>,
 ) -> Vec<SiteResult> {
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, SiteResult)>> = Mutex::new(Vec::with_capacity(sites.len()));
+    // Telemetry: each worker owns a private registry (no locks on the hot
+    // path) and parks it here when its loop drains; the commutative merge
+    // below makes the aggregate independent of worker count and of how the
+    // work-stealing index happened to partition the sites.
+    let worker_tels: Mutex<Vec<Telemetry>> = Mutex::new(Vec::new());
+    let with_tel = tel.is_some();
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
             let next = &next;
             let results = &results;
+            let worker_tels = &worker_tels;
             let ctxs: Vec<BenchContext> = contexts.to_vec();
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(ci, site)) = sites.get(i) else {
-                    break;
-                };
-                let ctx = &ctxs[ci];
-                let report = run_fault_experiment(
-                    ctx.cfg.clone(),
-                    &ctx.workload.program,
-                    site.target,
-                    FaultSpec {
-                        seq: site.seq,
-                        bit: site.bit,
-                    },
-                    max_cycles,
-                    &ctx.golden,
-                    &ctx.baseline_misp,
-                );
-                let r = SiteResult {
-                    site,
-                    outcome: report.outcome,
-                    fired: report.fired,
-                    detections: report.detections,
-                    detection_latency: report.detection_latency,
-                    cycles: report.cycles,
-                };
-                results.lock().expect("worker panicked").push((i, r));
+            scope.spawn(move || {
+                let mut tel = with_tel.then(Telemetry::new);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(ci, site)) = sites.get(i) else {
+                        break;
+                    };
+                    let ctx = &ctxs[ci];
+                    let t0 = tel.as_ref().map(|_| Instant::now());
+                    let report = run_fault_experiment(
+                        ctx.cfg.clone(),
+                        &ctx.workload.program,
+                        site.target,
+                        FaultSpec {
+                            seq: site.seq,
+                            bit: site.bit,
+                        },
+                        max_cycles,
+                        &ctx.golden,
+                        &ctx.baseline_misp,
+                    );
+                    if let (Some(t0), Some(tel)) = (t0, tel.as_mut()) {
+                        tel.record_span(SpanKind::CampaignSite, t0.elapsed().as_nanos() as u64);
+                        tel.add(CounterKind::CampaignSites, 1);
+                        tel.add(CounterKind::CampaignFired, report.fired as u64);
+                        tel.add(
+                            CounterKind::CampaignDetected,
+                            (report.outcome == FaultOutcome::DetectedRecovered) as u64,
+                        );
+                        tel.add(CounterKind::CampaignSimCycles, report.cycles);
+                        tel.record_value(HistKind::CampaignSiteCycles, report.cycles);
+                    }
+                    let r = SiteResult {
+                        site,
+                        outcome: report.outcome,
+                        fired: report.fired,
+                        detections: report.detections,
+                        detection_latency: report.detection_latency,
+                        cycles: report.cycles,
+                    };
+                    results.lock().expect("worker panicked").push((i, r));
+                }
+                if let Some(t) = tel {
+                    worker_tels.lock().expect("worker panicked").push(t);
+                }
             });
         }
     });
+    if let Some(tel) = tel {
+        for t in worker_tels.into_inner().expect("worker panicked").iter() {
+            tel.merge(t);
+        }
+    }
     let mut v = results.into_inner().expect("worker panicked");
     v.sort_unstable_by_key(|&(i, _)| i);
     v.into_iter().map(|(_, r)| r).collect()
@@ -488,10 +520,32 @@ pub fn run_campaign(
     benches: &[&str],
     targets: &[FaultTarget],
 ) -> CampaignResult {
+    run_campaign_telemetry(cfg, benches, targets, None)
+}
+
+/// [`run_campaign`] with optional host telemetry: per-site spans, outcome
+/// counters, and a cycles-per-site histogram recorded into worker-local
+/// registries and merged (worker-count-independently) into `tel`.
+pub fn run_campaign_telemetry(
+    cfg: &CampaignConfig,
+    benches: &[&str],
+    targets: &[FaultTarget],
+    mut tel: Option<&mut Telemetry>,
+) -> CampaignResult {
     let start = Instant::now();
+    if let Some(tel) = tel.as_deref_mut() {
+        tel.set_gauge(GaugeKind::Workers, cfg.workers.max(1) as u64);
+    }
     let contexts: Vec<BenchContext> = benches
         .iter()
-        .map(|b| prepare(b, cfg.scale, cfg.max_cycles))
+        .map(|b| {
+            let t0 = tel.as_ref().map(|_| Instant::now());
+            let ctx = prepare(b, cfg.scale, cfg.max_cycles);
+            if let (Some(t0), Some(tel)) = (t0, tel.as_deref_mut()) {
+                tel.record_span(SpanKind::CampaignPrepare, t0.elapsed().as_nanos() as u64);
+            }
+            ctx
+        })
         .collect();
 
     let mut sites: Vec<(usize, InjectionSite)> = Vec::new();
@@ -511,7 +565,7 @@ pub fn run_campaign(
         }
     }
 
-    let site_results = run_sites(&contexts, &sites, cfg.workers, cfg.max_cycles);
+    let site_results = run_sites(&contexts, &sites, cfg.workers, cfg.max_cycles, tel);
 
     let mut summaries: Vec<TargetSummary> = Vec::new();
     for ctx in &contexts {

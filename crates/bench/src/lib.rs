@@ -18,6 +18,8 @@ pub mod fuzz;
 pub mod json;
 /// Delta-debugging shrinker for failing fuzz cases.
 pub mod shrink;
+/// Host-telemetry JSONL export/parse/merge and the unified run report.
+pub mod telemetry_export;
 /// Flight-recording exporters (Chrome trace, pipeview, metrics).
 pub mod trace_export;
 
@@ -29,16 +31,19 @@ use slipstream_cpu::CoreConfig;
 use slipstream_workloads::{benchmark, suite, Workload};
 
 pub use campaign::{
-    available_workers, enumerate_sites, print_campaign_table, run_campaign, target_label,
-    trace_first_detection, CampaignConfig, CampaignResult, InjectionSite, LatencyHistogram,
-    SiteResult, TargetSummary, LATENCY_EDGES, TARGETS,
+    available_workers, enumerate_sites, print_campaign_table, run_campaign, run_campaign_telemetry,
+    target_label, trace_first_detection, CampaignConfig, CampaignResult, InjectionSite,
+    LatencyHistogram, SiteResult, TargetSummary, LATENCY_EDGES, TARGETS,
 };
 pub use fuzz::{
     corpus_entry_text, enumerate_seeds, replay_corpus_dir, replay_corpus_file, run_fuzz,
-    trace_entry_name, write_corpus, write_corpus_traced, FuzzConfig, FuzzResult, FuzzViolation,
-    InvariantCoverage,
+    run_fuzz_telemetry, trace_entry_name, write_corpus, write_corpus_traced, FuzzConfig,
+    FuzzResult, FuzzViolation, InvariantCoverage,
 };
 pub use shrink::{live_count, shrink, ShrinkOutcome};
+pub use telemetry_export::{
+    committed_calibration, deterministic_jsonl, parse_jsonl, report_text, to_jsonl,
+};
 pub use trace_export::{
     chrome_trace_json, cpi_stack_obj, first_divergence, lifecycles, metrics_json, pipeview_text,
     trace_slipstream_run, violation_trace_text, Divergence, Lifecycle,
@@ -406,13 +411,94 @@ fn cpi_row_json(r: &BenchRow) -> String {
         .finish()
 }
 
+/// One benchmark under the `cmp_shared_l2` preset: both slipstream cores
+/// behind a shared L2 with deterministic port contention (the ROADMAP
+/// follow-on row to the shared-memory-subsystem PR).
+#[derive(Debug, Clone)]
+pub struct SharedL2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Dynamic instruction count (R-stream retired).
+    pub dynamic: u64,
+    /// CMP(2x64x4) slipstream under `SlipstreamConfig::cmp_shared_l2`.
+    pub slip: SlipstreamStats,
+}
+
+/// Runs the full suite under the `cmp_shared_l2` preset.
+pub fn evaluate_shared_l2_suite(scale: f64) -> Vec<SharedL2Row> {
+    suite(scale)
+        .iter()
+        .map(|w| {
+            let cfg = SlipstreamConfig::cmp_shared_l2();
+            let mut proc = SlipstreamProcessor::new(cfg, &w.program);
+            assert!(
+                proc.run(MAX_CYCLES),
+                "{}: cmp_shared_l2 run did not complete",
+                w.name
+            );
+            let slip = proc.stats();
+            SharedL2Row {
+                name: w.name,
+                dynamic: slip.r_retired,
+                slip,
+            }
+        })
+        .collect()
+}
+
+/// One `cmp_shared_l2` row: A/R CPI stacks (sums asserted, `l2_port` now a
+/// real category) plus the combined L2 hit/miss/port-stall counters.
+fn shared_l2_row_json(r: &SharedL2Row) -> String {
+    let a = &r.slip.a_core;
+    let rr = &r.slip.r_core;
+    for (label, s) in [("A", a), ("R", rr)] {
+        assert_eq!(
+            s.cpi.total(),
+            s.cycles,
+            "{}: shared-L2 {label} CPI stack does not sum to its cycle counter",
+            r.name
+        );
+    }
+    json::Obj::new()
+        .str("bench", r.name)
+        .raw("dynamic", r.dynamic)
+        .raw("a_cycles", a.cycles)
+        .raw("a", cpi_stack_obj(&a.cpi))
+        .raw("r_cycles", rr.cycles)
+        .raw("r", cpi_stack_obj(&rr.cpi))
+        .raw("l2_hits", a.l2_hits + rr.l2_hits)
+        .raw("l2_misses", a.l2_misses + rr.l2_misses)
+        .raw(
+            "port_stall_cycles",
+            a.port_stall_cycles + rr.port_stall_cycles,
+        )
+        .finish()
+}
+
 /// The cycle-accounting document committed as `BENCH_cpi_stack.json`:
 /// per-benchmark A-stream, R-stream, and SS(64x4) CPI stacks (raw cycle
 /// counts per category — each object sums to its `*_cycles` field), with
-/// a per-category attribution of the slipstream speedup over SS(64x4).
-pub fn cpi_stack_json(rows: &[BenchRow], scale: f64) -> String {
+/// a per-category attribution of the slipstream speedup over SS(64x4),
+/// plus a `cmp_shared_l2` section re-running the suite with both cores
+/// contending on a shared L2 (the `l2_port` category populated).
+pub fn cpi_stack_json(rows: &[BenchRow], l2_rows: &[SharedL2Row], scale: f64) -> String {
     let rendered: Vec<String> = rows.iter().map(cpi_row_json).collect();
-    figure_doc(scale, json::array(&rendered, 2), None)
+    let l2_rendered: Vec<String> = l2_rows.iter().map(shared_l2_row_json).collect();
+    if !l2_rows.is_empty() {
+        let port_cycles: u64 = l2_rows
+            .iter()
+            .map(|r| r.slip.a_core.cpi.get(CpiCat::L2Port) + r.slip.r_core.cpi.get(CpiCat::L2Port))
+            .sum();
+        assert!(
+            port_cycles > 0,
+            "cmp_shared_l2 suite shows no l2_port contention — shared-L2 preset inert"
+        );
+    }
+    figure_doc(
+        scale,
+        json::array(&rendered, 2),
+        Some(("cmp_shared_l2", json::array(&l2_rendered, 2))),
+    )
 }
 
 /// The top `n` non-base cycle sinks of a stack, as `(label, % of cycles)`

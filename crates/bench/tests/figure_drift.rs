@@ -10,18 +10,20 @@ use std::fs;
 use std::path::Path;
 
 use slipstream_bench::{
-    cpi_stack_json, evaluate_suite, fig6_json, fig7_json, fig8_json, paper_tables_json,
+    cpi_stack_json, evaluate_shared_l2_suite, evaluate_suite, fig6_json, fig7_json, fig8_json,
+    paper_tables_json,
 };
 
 #[test]
 fn committed_figure_documents_match_regeneration() {
     let rows = evaluate_suite(1.0);
+    let l2_rows = evaluate_shared_l2_suite(1.0);
     let docs = [
         ("BENCH_fig6.json", fig6_json(&rows, 1.0)),
         ("BENCH_fig7.json", fig7_json(&rows, 1.0)),
         ("BENCH_fig8.json", fig8_json(&rows, 1.0)),
         ("BENCH_paper_tables.json", paper_tables_json(&rows, 1.0)),
-        ("BENCH_cpi_stack.json", cpi_stack_json(&rows, 1.0)),
+        ("BENCH_cpi_stack.json", cpi_stack_json(&rows, &l2_rows, 1.0)),
     ];
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     for (name, regenerated) in docs {

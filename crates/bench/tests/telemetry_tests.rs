@@ -1,0 +1,124 @@
+//! Telemetry-subsystem integration tests: the merged aggregates from the
+//! parallel harnesses must be worker-count independent, and the snapshot
+//! pipeline (JSONL, deterministic subset, report) must hold its contracts
+//! on real simulator runs — not just the unit-test fixtures.
+
+use slipstream_bench::{
+    deterministic_jsonl, parse_jsonl, report_text, run_campaign_telemetry, run_fuzz_telemetry,
+    to_jsonl, CampaignConfig, FuzzConfig, MAX_CYCLES, TARGETS,
+};
+use slipstream_core::standard_invariants;
+use slipstream_core::telemetry::{RunManifest, Telemetry};
+use slipstream_core::{ExecMode, SlipstreamConfig, SlipstreamProcessor};
+use slipstream_workloads::benchmark;
+
+const TEST_BENCHES: [&str; 2] = ["m88ksim", "compress"];
+
+/// Runs the small campaign with `workers` threads, telemetry on, and
+/// returns the deterministic JSONL subset of the merged registry.
+fn campaign_deterministic(workers: usize) -> String {
+    let mut cfg = CampaignConfig::smoke();
+    cfg.sites_per_target = 4;
+    cfg.workers = workers;
+    let mut tel = Telemetry::new();
+    run_campaign_telemetry(&cfg, &TEST_BENCHES, &TARGETS, Some(&mut tel));
+    let manifest = RunManifest::new("telemetry_tests", "campaign", "small");
+    deterministic_jsonl(&tel.snapshot(&manifest))
+}
+
+#[test]
+fn campaign_telemetry_aggregates_are_worker_count_independent() {
+    // Spans and gauges are timing- and pool-shaped, but every counter and
+    // every histogram must merge to byte-identical aggregates no matter
+    // how the worker pool interleaved the sites.
+    assert_eq!(campaign_deterministic(1), campaign_deterministic(3));
+}
+
+/// Runs a small fuzz sweep with `workers` threads, telemetry on, and
+/// returns the deterministic JSONL subset.
+fn fuzz_deterministic(workers: usize) -> String {
+    let mut cfg = FuzzConfig::smoke();
+    cfg.seeds = 16;
+    cfg.workers = workers;
+    let invariants = standard_invariants();
+    let mut tel = Telemetry::new();
+    run_fuzz_telemetry(&cfg, &invariants, Some(&mut tel));
+    let manifest = RunManifest::new("telemetry_tests", "fuzz", "small");
+    deterministic_jsonl(&tel.snapshot(&manifest))
+}
+
+#[test]
+fn fuzz_telemetry_aggregates_are_worker_count_independent() {
+    assert_eq!(fuzz_deterministic(1), fuzz_deterministic(3));
+}
+
+#[test]
+fn threaded_run_attributes_its_wall_clock_to_named_spans() {
+    let w = benchmark("compress", 0.2).expect("compress workload exists");
+    let cfg = SlipstreamConfig::cmp_2x64x4();
+    let mut proc = SlipstreamProcessor::new(cfg.clone(), &w.program);
+    proc.enable_telemetry();
+    assert!(proc.run_mode(ExecMode::Threaded, MAX_CYCLES));
+    let tel = proc.take_telemetry().expect("telemetry was enabled");
+    let manifest = RunManifest::new("telemetry_tests", "threaded", &format!("{cfg:?}"));
+    let snap = tel.snapshot(&manifest);
+
+    let span = |name: &str| snap.spans.iter().find(|s| s.name == name);
+    let run_total = span("run_total").expect("run_total recorded").total_nanos;
+    assert!(run_total > 0);
+    // Both threads must have produced their core spans.
+    for required in [
+        "a_window_exec",
+        "a_checkpoint",
+        "r_window_consume",
+        "r_boundary_sync",
+    ] {
+        assert!(
+            span(required).is_some_and(|s| s.count > 0),
+            "{required} missing from a threaded telemetry run"
+        );
+    }
+    // The R-side exclusive set nests inside run_total, so its sum is
+    // bounded by it — this is what makes the "other" remainder (and the
+    // report's 100% attribution) well-defined.
+    let named: u64 = [
+        "r_ring_pop_wait",
+        "r_window_consume",
+        "r_boundary_sync",
+        "r_recovery_build",
+    ]
+    .iter()
+    .filter_map(|n| span(n))
+    .map(|s| s.total_nanos)
+    .sum();
+    assert!(named <= run_total, "exclusive spans exceed run_total");
+
+    // The ring-occupancy histogram is sampled once per consumed window.
+    let ring = snap
+        .hists
+        .iter()
+        .find(|h| h.name == "ring_occupancy")
+        .expect("ring_occupancy sampled");
+    let consumed = span("r_window_consume").unwrap().count;
+    assert_eq!(ring.count, consumed);
+
+    // The report over this snapshot attributes the full run total.
+    let report = report_text(std::slice::from_ref(&snap), None);
+    assert!(
+        report.contains("= 100.0% of run_total"),
+        "report:\n{report}"
+    );
+
+    // And the JSONL render of a real run round-trips byte-identically.
+    let jsonl = to_jsonl(&snap);
+    assert_eq!(to_jsonl(&parse_jsonl(&jsonl).unwrap()), jsonl);
+}
+
+#[test]
+fn telemetry_off_run_produces_no_registry() {
+    let w = benchmark("compress", 0.1).expect("compress workload exists");
+    let mut proc = SlipstreamProcessor::new(SlipstreamConfig::cmp_2x64x4(), &w.program);
+    assert!(!proc.telemetry_enabled());
+    assert!(proc.run_mode(ExecMode::Windowed, MAX_CYCLES));
+    assert!(proc.take_telemetry().is_none());
+}

@@ -40,6 +40,9 @@ pub use removal::{Category, Reason};
 pub use rstream::{IrMispKind, RStreamDriver};
 pub use slipstream::{ExecMode, SlipstreamProcessor, SlipstreamStats};
 pub use slipstream_cpu::{CpiCat, CpiStack, L2Config};
+/// Host-side telemetry (re-exported so
+/// [`SlipstreamProcessor::take_telemetry`]'s types are reachable).
+pub use slipstream_telemetry as telemetry;
 pub use trace::{
     EventKind, FlightRecording, IntervalSample, IntervalSampler, StreamId, TraceConfig, TraceEvent,
     TraceSink, NO_SEQ,

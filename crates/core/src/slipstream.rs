@@ -42,6 +42,8 @@ use slipstream_cpu::{merge_l2_logs, Core, CoreStats, FaultSpec, L2Access, L2View
 use slipstream_isa::{ArchState, MemWidth, Memory, Program, Retired, NUM_REGS};
 use slipstream_predict::{PathHistory, TraceId};
 use slipstream_spsc as spsc;
+use slipstream_telemetry::{GaugeKind, HistKind, SpanKind, Telemetry};
+use std::time::Instant;
 
 use crate::config::SlipstreamConfig;
 use crate::delay::{DelayEntry, TraceCommit};
@@ -227,6 +229,10 @@ struct AHalf {
     /// Interval-sampler period (0 = off), mirrored from the R side so
     /// A-side counters are captured at exactly the due cycles.
     sample_interval: u64,
+    /// Host-side telemetry (`None` = off, the zero-cost default). Boxed so
+    /// the registry's fixed arrays don't bloat the half that the threaded
+    /// scheduler moves across threads.
+    tel: Option<Box<Telemetry>>,
 }
 
 /// A boundary snapshot of the A side, for rollback-and-replay recovery.
@@ -429,6 +435,22 @@ struct RHalf {
     pending_a_l2: Vec<L2Access>,
     recovery_startup: u64,
     restores_per_cycle: u64,
+    /// Host-side telemetry for the R/consuming side (`None` = off).
+    tel: Option<Box<Telemetry>>,
+}
+
+/// `Some(now)` only when telemetry is on — the telemetry-off path must
+/// never call `Instant::now`.
+fn tel_now(tel: &Option<Box<Telemetry>>) -> Option<Instant> {
+    tel.is_some().then(Instant::now)
+}
+
+/// Records `start.elapsed()` into `kind`; a `None` start (telemetry off)
+/// records nothing.
+fn tel_span(tel: &mut Option<Box<Telemetry>>, kind: SpanKind, start: Option<Instant>) {
+    if let (Some(t0), Some(tel)) = (start, tel.as_deref_mut()) {
+        tel.record_span(kind, t0.elapsed().as_nanos() as u64);
+    }
 }
 
 /// Machine-level observability state, present only while tracing.
@@ -659,6 +681,7 @@ impl RHalf {
 /// learning into the A side's predictor/IR-table and refresh its credit
 /// budget from live delay-buffer occupancy.
 fn boundary_sync(a: &mut AHalf, r: &mut RHalf) {
+    let t0 = tel_now(&r.tel);
     a.fe.apply_training();
     for (key, id, info) in r.obs_q.drain(..) {
         a.fe.ir_table.observe(key, id, info);
@@ -679,6 +702,7 @@ fn boundary_sync(a: &mut AHalf, r: &mut RHalf) {
     a.ctrl_occ = r.drv.delay.control_occupancy();
     a.data_pushed = 0;
     a.ctrl_pushed = 0;
+    tel_span(&mut r.tel, SpanKind::RBoundarySync, t0);
 }
 
 /// The A-stream's thread body in [`SlipstreamProcessor::run_parallel`]:
@@ -700,17 +724,37 @@ fn a_stream_thread(
     while anchor < max_cycles {
         let window_end = (anchor + quantum).min(max_cycles);
         debug_assert_eq!(a.cycles, anchor, "windows start at the anchor");
+        let t0 = tel_now(&a.tel);
         match &mut ck_slot {
             Some(ck) => a.checkpoint_into(ck),
             None => ck_slot = Some(a.checkpoint()),
         }
+        tel_span(&mut a.tel, SpanKind::ACheckpoint, t0);
         let ck = ck_slot.as_ref().expect("checkpointed above");
+        let t0 = tel_now(&a.tel);
+        // Ring-full waits are timed separately and subtracted, so
+        // `a_window_exec` is pure execution and `a_ring_push_wait` is pure
+        // back-pressure (the quantity SPSC tuning needs).
+        let mut wait_nanos = 0u64;
         for _ in anchor..window_end {
             let mut batch = recycle.try_recv().unwrap_or_default();
             a.run_cycle(&mut batch);
-            if out.push(batch).is_err() {
-                return; // R side exited (panic propagates via scope join)
+            if let Err(batch) = out.try_push(batch) {
+                let w0 = tel_now(&a.tel);
+                let pushed = out.push(batch);
+                if let (Some(w0), Some(tel)) = (w0, a.tel.as_deref_mut()) {
+                    let nanos = w0.elapsed().as_nanos() as u64;
+                    wait_nanos += nanos;
+                    tel.record_span(SpanKind::ARingPushWait, nanos);
+                }
+                if pushed.is_err() {
+                    return; // R side exited (panic propagates via scope join)
+                }
             }
+        }
+        if let (Some(t0), Some(tel)) = (t0, a.tel.as_deref_mut()) {
+            let nanos = t0.elapsed().as_nanos() as u64;
+            tel.record_span(SpanKind::AWindowExec, nanos.saturating_sub(wait_nanos));
         }
         let Ok(report) = reports.recv() else {
             return;
@@ -722,6 +766,7 @@ fn a_stream_thread(
                 obs,
                 l2_log,
             } => {
+                let t0 = tel_now(&a.tel);
                 a.fe.apply_training();
                 for (key, id, info) in obs {
                     a.fe.ir_table.observe(key, id, info);
@@ -735,16 +780,23 @@ fn a_stream_thread(
                 a.ctrl_occ = ctrl_occ;
                 a.data_pushed = 0;
                 a.ctrl_pushed = 0;
+                tel_span(&mut a.tel, SpanKind::ABoundaryApply, t0);
                 anchor = window_end;
             }
             Report::Recover(cmd) => {
                 let cycle = cmd.cycle;
+                let t0 = tel_now(&a.tel);
                 a.rollback_replay(ck, cycle, &mut scratch);
+                tel_span(&mut a.tel, SpanKind::ARollbackReplay, t0);
+                let t0 = tel_now(&a.tel);
                 a.apply_recover(&cmd);
+                tel_span(&mut a.tel, SpanKind::ARecoverApply, t0);
                 anchor = cycle;
             }
             Report::Halted { cycle } => {
+                let t0 = tel_now(&a.tel);
                 a.rollback_replay(ck, cycle, &mut scratch);
+                tel_span(&mut a.tel, SpanKind::ARollbackReplay, t0);
                 return;
             }
             Report::Done => return,
@@ -807,6 +859,7 @@ impl SlipstreamProcessor {
                 data_cap: cfg.delay_data_entries,
                 ctrl_cap: cfg.delay_control_entries,
                 sample_interval: 0,
+                tel: None,
             },
             r: RHalf {
                 core: r_core,
@@ -829,6 +882,7 @@ impl SlipstreamProcessor {
                 pending_a_l2: Vec::new(),
                 recovery_startup: cfg.recovery_startup,
                 restores_per_cycle: cfg.restores_per_cycle,
+                tel: None,
             },
             program: program.clone(),
             anchor: 0,
@@ -865,6 +919,36 @@ impl SlipstreamProcessor {
     /// Whether [`SlipstreamProcessor::enable_tracing`] has been called.
     pub fn tracing_enabled(&self) -> bool {
         self.r.machine_trace.is_some()
+    }
+
+    /// Turns on host-side telemetry: wall-clock span timers around the
+    /// scheduler phases (window execution, boundary sync, checkpoint,
+    /// rollback/replay, SPSC ring push/pop waits) plus ring-occupancy
+    /// sampling in the threaded scheduler. Off by default; the off path
+    /// pays only never-taken `Option` branches — no `Instant::now` calls
+    /// and no allocations (enforced by the throughput harness's
+    /// marginal-allocation gate).
+    pub fn enable_telemetry(&mut self) {
+        let mut r_tel = Box::new(Telemetry::new());
+        r_tel.set_gauge(GaugeKind::SyncQuantum, self.quantum());
+        self.r.tel = Some(r_tel);
+        self.a.tel = Some(Box::new(Telemetry::new()));
+    }
+
+    /// Whether [`SlipstreamProcessor::enable_telemetry`] has been called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.r.tel.is_some()
+    }
+
+    /// Takes the accumulated telemetry, merging the A- and R-side
+    /// registries into one, and turns telemetry off. `None` when telemetry
+    /// was never enabled.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        let mut merged = *self.r.tel.take()?;
+        if let Some(a) = self.a.tel.take() {
+            merged.merge(&a);
+        }
+        Some(merged)
     }
 
     /// Freezes every installed sink after `cycle` (see
@@ -1038,24 +1122,32 @@ impl SlipstreamProcessor {
     /// default slack-window scheduler. Returns `true` if the program
     /// completed.
     pub fn run(&mut self, max_cycles: u64) -> bool {
-        self.run_windowed(max_cycles)
+        self.run_mode(ExecMode::Windowed, max_cycles)
     }
 
-    /// Runs with the named scheduler (see [`ExecMode`]).
+    /// Runs with the named scheduler (see [`ExecMode`]). With telemetry
+    /// on, the whole call is recorded as the `run_total` span — the
+    /// denominator every other span is attributed against.
     pub fn run_mode(&mut self, mode: ExecMode, max_cycles: u64) -> bool {
-        match mode {
+        let t0 = tel_now(&self.r.tel);
+        let done = match mode {
             ExecMode::Serial => self.run_serial(max_cycles),
             ExecMode::Windowed => self.run_windowed(max_cycles),
             ExecMode::Threaded => self.run_parallel(max_cycles),
-        }
+        };
+        tel_span(&mut self.r.tel, SpanKind::RunTotal, t0);
+        done
     }
 
     /// Cycle-by-cycle lockstep run (the reference scheduler).
     pub fn run_serial(&mut self, max_cycles: u64) -> bool {
+        let t0 = tel_now(&self.r.tel);
         while !self.halted() && self.r.cycles < max_cycles {
             self.step();
         }
-        self.finish_run()
+        let done = self.finish_run();
+        tel_span(&mut self.r.tel, SpanKind::SerialExec, t0);
+        done
     }
 
     /// Slack-window run: the A-stream bursts a whole window against its
@@ -1076,16 +1168,21 @@ impl SlipstreamProcessor {
             }
             let window_end = (self.anchor + q).min(max_cycles);
             let n = (window_end - self.anchor) as usize;
+            let t0 = tel_now(&self.a.tel);
             match &mut self.window_ck {
                 Some(ck) => self.a.checkpoint_into(ck),
                 None => self.window_ck = Some(self.a.checkpoint()),
             }
+            tel_span(&mut self.a.tel, SpanKind::ACheckpoint, t0);
             while self.batches.len() < n {
                 self.batches.push(CycleBatch::default());
             }
+            let t0 = tel_now(&self.a.tel);
             for batch in self.batches.iter_mut().take(n) {
                 self.a.run_cycle(batch);
             }
+            tel_span(&mut self.a.tel, SpanKind::AWindowExec, t0);
+            let t0 = tel_now(&self.r.tel);
             let mut outcome: Option<(RPhase, u64)> = None;
             for batch in self.batches.iter_mut().take(n) {
                 match self.r.consume_cycle(batch, &self.program) {
@@ -1096,6 +1193,7 @@ impl SlipstreamProcessor {
                     }
                 }
             }
+            tel_span(&mut self.r.tel, SpanKind::RWindowConsume, t0);
             match outcome {
                 None => {
                     if window_end == self.anchor + q {
@@ -1105,16 +1203,24 @@ impl SlipstreamProcessor {
                     // (matching the serial scheduler) and exit at the top.
                 }
                 Some((RPhase::Misp, cycle)) => {
+                    let t0 = tel_now(&self.r.tel);
                     let cmd = self.r.build_recover(&self.program);
+                    tel_span(&mut self.r.tel, SpanKind::RRecoveryBuild, t0);
                     let ck = self.window_ck.as_ref().expect("checkpointed above");
+                    let t0 = tel_now(&self.a.tel);
                     self.a.rollback_replay(ck, cycle, &mut self.scratch);
+                    tel_span(&mut self.a.tel, SpanKind::ARollbackReplay, t0);
+                    let t0 = tel_now(&self.a.tel);
                     self.a.apply_recover(&cmd);
+                    tel_span(&mut self.a.tel, SpanKind::ARecoverApply, t0);
                     self.anchor = cycle;
                 }
                 Some((_, cycle)) => {
                     // Halted: discard the A-stream's overrun.
                     let ck = self.window_ck.as_ref().expect("checkpointed above");
+                    let t0 = tel_now(&self.a.tel);
                     self.a.rollback_replay(ck, cycle, &mut self.scratch);
+                    tel_span(&mut self.a.tel, SpanKind::ARollbackReplay, t0);
                     break;
                 }
             }
@@ -1152,6 +1258,9 @@ impl SlipstreamProcessor {
         let (report_tx, report_rx) = std::sync::mpsc::channel::<Report>();
         let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<CycleBatch>();
         let mut final_anchor = anchor0;
+        if let Some(tel) = r.tel.as_deref_mut() {
+            tel.set_gauge(GaugeKind::RingCapacity, batch_rx.capacity() as u64);
+        }
 
         std::thread::scope(|scope| {
             scope.spawn(move || {
@@ -1161,18 +1270,46 @@ impl SlipstreamProcessor {
             let mut anchor_r = anchor0;
             'windows: while anchor_r < max_cycles {
                 let window_end = (anchor_r + q).min(max_cycles);
+                if let Some(tel) = r.tel.as_deref_mut() {
+                    tel.record_value(HistKind::RingOccupancy, batch_rx.occupancy() as u64);
+                }
+                let t0 = tel_now(&r.tel);
+                // Ring-empty waits and recovery building are timed
+                // separately and subtracted, so `r_window_consume` is pure
+                // consumption and `r_ring_pop_wait` is pure starvation.
+                let mut wait_nanos = 0u64;
+                let mut recover_nanos = 0u64;
                 let mut verdict: Option<Report> = None;
                 for _ in anchor_r..window_end {
-                    let Ok(mut batch) = batch_rx.pop() else {
-                        // A thread exited early (its panic propagates when
-                        // the scope joins).
-                        break 'windows;
+                    let mut batch = match batch_rx.try_pop() {
+                        Some(batch) => batch,
+                        None => {
+                            let w0 = tel_now(&r.tel);
+                            let Ok(batch) = batch_rx.pop() else {
+                                // A thread exited early (its panic
+                                // propagates when the scope joins).
+                                break 'windows;
+                            };
+                            if let (Some(w0), Some(tel)) = (w0, r.tel.as_deref_mut()) {
+                                let nanos = w0.elapsed().as_nanos() as u64;
+                                wait_nanos += nanos;
+                                tel.record_span(SpanKind::RRingPopWait, nanos);
+                            }
+                            batch
+                        }
                     };
                     if verdict.is_none() {
                         match r.consume_cycle(&mut batch, program) {
                             RPhase::Ok => {}
                             RPhase::Misp => {
-                                verdict = Some(Report::Recover(r.build_recover(program)));
+                                let b0 = tel_now(&r.tel);
+                                let cmd = r.build_recover(program);
+                                if let (Some(b0), Some(tel)) = (b0, r.tel.as_deref_mut()) {
+                                    let nanos = b0.elapsed().as_nanos() as u64;
+                                    recover_nanos += nanos;
+                                    tel.record_span(SpanKind::RRecoveryBuild, nanos);
+                                }
+                                verdict = Some(Report::Recover(cmd));
                             }
                             RPhase::Halted => {
                                 verdict = Some(Report::Halted { cycle: r.cycles });
@@ -1180,6 +1317,13 @@ impl SlipstreamProcessor {
                         }
                     }
                     let _ = recycle_tx.send(batch);
+                }
+                if let (Some(t0), Some(tel)) = (t0, r.tel.as_deref_mut()) {
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    tel.record_span(
+                        SpanKind::RWindowConsume,
+                        nanos.saturating_sub(wait_nanos + recover_nanos),
+                    );
                 }
                 match verdict {
                     None => {
@@ -1189,6 +1333,7 @@ impl SlipstreamProcessor {
                             let _ = report_tx.send(Report::Done);
                             break 'windows;
                         }
+                        let t0 = tel_now(&r.tel);
                         // Shared-L2 boundary merge, R side (mirrors
                         // `build_recover`): own log + accumulated A log.
                         let r_l2 = r.core.l2_take_log();
@@ -1201,7 +1346,9 @@ impl SlipstreamProcessor {
                             obs: std::mem::take(&mut r.obs_q),
                             l2_log: r_l2,
                         };
-                        if report_tx.send(report).is_err() {
+                        let sent = report_tx.send(report);
+                        tel_span(&mut r.tel, SpanKind::RBoundarySync, t0);
+                        if sent.is_err() {
                             break 'windows;
                         }
                         anchor_r = window_end;

@@ -163,6 +163,19 @@ impl<T> Producer<T> {
     pub fn is_disconnected(&self) -> bool {
         self.ring.closed.load(Ordering::Acquire)
     }
+
+    /// Number of values currently buffered, from the producer's view
+    /// (reads the shared `head` counter — a conservative upper bound,
+    /// since the consumer may pop concurrently). Telemetry-only; not part
+    /// of the hot-path protocol.
+    pub fn occupancy(&self) -> usize {
+        self.tail - self.ring.head.load(Ordering::Acquire)
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.slots.len()
+    }
 }
 
 impl<T> Consumer<T> {
@@ -207,6 +220,19 @@ impl<T> Consumer<T> {
     pub fn is_disconnected(&self) -> bool {
         self.ring.closed.load(Ordering::Acquire)
     }
+
+    /// Number of values currently buffered, from the consumer's view
+    /// (reads the shared `tail` counter — a conservative lower bound,
+    /// since the producer may push concurrently). Telemetry-only; not
+    /// part of the hot-path protocol.
+    pub fn occupancy(&self) -> usize {
+        self.ring.tail.load(Ordering::Acquire) - self.head
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.slots.len()
+    }
 }
 
 impl<T> Drop for Producer<T> {
@@ -236,6 +262,22 @@ mod tests {
             assert_eq!(rx.try_pop(), Some(i));
         }
         assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn occupancy_tracks_buffered_count() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        assert_eq!(tx.capacity(), 4);
+        assert_eq!(rx.capacity(), 4);
+        assert_eq!(tx.occupancy(), 0);
+        assert_eq!(rx.occupancy(), 0);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.occupancy(), 2);
+        assert_eq!(rx.occupancy(), 2);
+        rx.try_pop().unwrap();
+        assert_eq!(tx.occupancy(), 1);
+        assert_eq!(rx.occupancy(), 1);
     }
 
     #[test]
